@@ -1,0 +1,35 @@
+//! End-to-end election benchmarks: the headline algorithm on the
+//! families of §1, plus the flood-max baseline for scale.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use welle_bench::workloads::Family;
+use welle_core::baselines::run_flood_max;
+use welle_core::run_election;
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election");
+    group.sample_size(10);
+    for fam in [Family::Expander, Family::Clique] {
+        let graph = fam.build(128, 7);
+        let cfg = fam.election_config(graph.n());
+        group.bench_with_input(BenchmarkId::new(fam.name(), graph.n()), &graph, |b, g| {
+            b.iter(|| black_box(run_election(g, &cfg, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_floodmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_max_baseline");
+    group.sample_size(10);
+    let graph = Family::Expander.build(256, 7);
+    group.bench_function("expander_256", |b| {
+        b.iter(|| black_box(run_flood_max(&graph, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_election, bench_floodmax);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Engine micro-benchmarks: round throughput of the CONGEST simulator
+//! under a dense flood workload, serial vs threaded.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use welle_congest::testing::FloodMax;
+use welle_congest::{Engine, EngineConfig, ThreadedEngine};
+use welle_graph::gen;
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Arc::new(gen::random_regular(n, 4, &mut rng).unwrap());
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
+                let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+                black_box(e.run(100_000));
+                black_box(e.metrics().messages)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded4", n), &n, |b, _| {
+            b.iter(|| {
+                let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
+                let mut e =
+                    ThreadedEngine::new(Arc::clone(&g), nodes, EngineConfig::default(), 4);
+                black_box(e.run(100_000));
+                black_box(e.metrics().messages)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Graph generator benchmarks: the randomized constructions that gate
+//! experiment setup time.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use welle_graph::gen::{self, CliqueOfCliques, CliqueOfCliquesParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("random_regular_d4", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(gen::random_regular(n, 4, &mut rng).unwrap())
+            })
+        });
+    }
+    group.bench_function("clique_of_cliques_n1000_eps0.3", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(
+                CliqueOfCliques::build(CliqueOfCliquesParams::new(1000, 0.3), &mut rng).unwrap(),
+            )
+        })
+    });
+    group.bench_function("hypercube_d12", |b| {
+        b.iter(|| black_box(gen::hypercube(12).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

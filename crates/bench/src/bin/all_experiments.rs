@@ -1,0 +1,33 @@
+//! Runs every experiment of DESIGN.md §7 in sequence, printing each
+//! table and writing CSVs under `results/`. Pass `--quick` for the
+//! reduced sweeps used in smoke tests.
+
+use welle_bench::experiments as ex;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let start = std::time::Instant::now();
+    let runs: Vec<(&str, fn(bool) -> Vec<welle_bench::Table>)> = vec![
+        ("e1_upper_bound", ex::e1_upper_bound::run),
+        ("e2_contenders", ex::e2_contenders::run),
+        ("e3_guess_double", ex::e3_guess_double::run),
+        ("e4_uniqueness", ex::e4_uniqueness::run),
+        ("e5_lb_graph", ex::e5_lb_graph::run),
+        ("e6_first_contact", ex::e6_first_contact::run),
+        ("e7_sandwich", ex::e7_sandwich::run),
+        ("e8_dumbbell", ex::e8_dumbbell::run),
+        ("e9_explicit", ex::e9_explicit::run),
+        ("e10_families", ex::e10_families::run),
+        ("e11_bcast_st", ex::e11_bcast_st::run),
+        ("e12_known_tmix", ex::e12_known_tmix::run),
+        ("e13_ablations", ex::e13_ablations::run),
+    ];
+    for (name, f) in runs {
+        let t0 = std::time::Instant::now();
+        println!("### {name} ###");
+        let tables = f(quick);
+        ex::emit(name, &tables);
+        println!("[{name}: {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the e11_bcast_st experiment table (see DESIGN.md §7).
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = welle_bench::experiments::e11_bcast_st::run(quick);
+    welle_bench::experiments::emit("e11_bcast_st", &tables);
+}

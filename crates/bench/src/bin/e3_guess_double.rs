@@ -1,0 +1,8 @@
+//! Regenerates the e3_guess_double experiment table (see DESIGN.md §7).
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = welle_bench::experiments::e3_guess_double::run(quick);
+    welle_bench::experiments::emit("e3_guess_double", &tables);
+}

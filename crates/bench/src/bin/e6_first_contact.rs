@@ -1,0 +1,8 @@
+//! Regenerates the e6_first_contact experiment table (see DESIGN.md §7).
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = welle_bench::experiments::e6_first_contact::run(quick);
+    welle_bench::experiments::emit("e6_first_contact", &tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the e7_sandwich experiment table (see DESIGN.md §7).
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = welle_bench::experiments::e7_sandwich::run(quick);
+    welle_bench::experiments::emit("e7_sandwich", &tables);
+}

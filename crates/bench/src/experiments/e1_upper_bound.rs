@@ -1,0 +1,106 @@
+//! **E1 — Theorem 13 (upper bound).** Messages `O(√n·log^{7/2}n·t_mix)`
+//! and time `O(t_mix·log²n)` across well-connected families.
+//!
+//! For each family × n we report the measured message count, the
+//! normalized ratio `messages / (√n·t_mix)` (which must grow only
+//! polylogarithmically), and the fitted log-log growth exponent of
+//! messages in `n` (which must stay well below 1 — sublinearity — and
+//! near ½ up to polylog drift).
+
+use crate::table::Table;
+use crate::workloads::{mean, seeds, Family};
+use crate::{fit, log_log_slope};
+use welle_core::run_election;
+use welle_walks::{mixing_time, MixingOptions, StartPolicy};
+
+/// Runs the sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+    let families = [Family::Expander, Family::Hypercube, Family::Clique];
+    let nseeds = if quick { 2 } else { 3 };
+
+    let mut table = Table::new(
+        "E1 / Theorem 13: messages = O(sqrt(n) polylog n * t_mix)",
+        &[
+            "family", "n", "m", "t_mix", "messages", "msgs/(sqrt(n)*tmix)", "rounds",
+        ],
+    );
+    let mut summary = Table::new(
+        "E1 summary: fitted growth exponent of messages vs n (1.0 = linear)",
+        &["family", "exponent", "sublinear_in_m"],
+    );
+
+    for fam in families {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut sublinear_in_m = true;
+        for &n in sizes {
+            if fam == Family::Clique && n > 512 {
+                continue; // m = Θ(n²) graphs get heavy; 512 suffices for the fit
+            }
+            let graph = fam.build(n, 77);
+            let n_actual = graph.n();
+            let tmix = mixing_time(
+                &graph,
+                MixingOptions {
+                    horizon: 100_000,
+                    starts: StartPolicy::Sample(8),
+                },
+            )
+            .expect("family mixes") as f64;
+            let cfg = fam.election_config(n_actual);
+            let mut msgs = Vec::new();
+            let mut rounds = Vec::new();
+            for &seed in &seeds(nseeds) {
+                let r = run_election(&graph, &cfg, seed);
+                if r.is_success() {
+                    msgs.push(r.messages);
+                    rounds.push(r.engine_rounds);
+                }
+            }
+            if msgs.is_empty() {
+                continue;
+            }
+            let m_mean = mean(&msgs);
+            let normalized = m_mean / ((n_actual as f64).sqrt() * tmix.max(1.0));
+            table.push_strings(vec![
+                fam.name().into(),
+                n_actual.to_string(),
+                graph.m().to_string(),
+                format!("{tmix:.0}"),
+                format!("{m_mean:.0}"),
+                format!("{normalized:.1}"),
+                format!("{:.0}", mean(&rounds)),
+            ]);
+            xs.push(n_actual as f64);
+            ys.push(m_mean);
+            if m_mean >= (graph.m() as f64) * (n_actual as f64) {
+                sublinear_in_m = false;
+            }
+        }
+        if xs.len() >= 2 {
+            let slope = log_log_slope(&xs, &ys);
+            summary.push_strings(vec![
+                fam.name().into(),
+                format!("{slope:.2}"),
+                sublinear_in_m.to_string(),
+            ]);
+        }
+        let _ = fit::geometric_mean(&[1.0]);
+    }
+    vec![table, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! **E4 — Lemma 11 (unique leader w.h.p.).** Outcome census over seeds:
+//! zero / one / many leaders per family and size. "One" should dominate
+//! and "many" should be (near-)absent.
+
+use crate::table::Table;
+use crate::workloads::Family;
+use welle_core::run_election;
+
+/// Runs the census.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[128] } else { &[128, 256, 512] };
+    let reps = if quick { 5 } else { 15 };
+    let families = [Family::Expander, Family::Hypercube, Family::Clique];
+
+    let mut table = Table::new(
+        "E4 / Lemma 11: leader-count census (unique w.h.p.)",
+        &["family", "n", "runs", "zero", "one", "many", "success_rate"],
+    );
+    for fam in families {
+        for &n in sizes {
+            let graph = fam.build(n, 13);
+            let cfg = fam.election_config(graph.n());
+            let (mut zero, mut one, mut many) = (0u32, 0u32, 0u32);
+            for seed in 0..reps {
+                let r = run_election(&graph, &cfg, 500 + seed);
+                match r.leaders.len() {
+                    0 => zero += 1,
+                    1 => one += 1,
+                    _ => many += 1,
+                }
+            }
+            table.push_strings(vec![
+                fam.name().into(),
+                graph.n().to_string(),
+                reps.to_string(),
+                zero.to_string(),
+                one.to_string(),
+                many.to_string(),
+                format!("{:.2}", one as f64 / reps as f64),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_census_mostly_unique() {
+        let tables = super::run(true);
+        for row in tables[0].to_csv().lines().skip(1) {
+            let cols: Vec<&str> = row.split(',').collect();
+            let many: u32 = cols[5].parse().unwrap();
+            assert_eq!(many, 0, "multiple leaders must not appear: {row}");
+            let rate: f64 = cols[6].parse().unwrap();
+            assert!(rate >= 0.6, "success rate too low: {row}");
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! The event-driven synchronous engine (the default executor).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use welle_graph::{Graph, NodeId, Port};
+
+use crate::message::Payload;
+use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
+use crate::protocol::{Context, Protocol, Signal};
+use crate::queues::EdgeQueues;
+
+/// Engine-wide configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Master seed; each node's private RNG is derived from it and the
+    /// node index, so a run is a pure function of `(graph, protocols,
+    /// seed)`.
+    pub seed: u64,
+    /// Per-message size cap in bits (the CONGEST `O(log n)` budget).
+    /// `None` disables the check (LOCAL model).
+    pub bandwidth_bits: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0x5EED_0001,
+            bandwidth_bits: None,
+        }
+    }
+}
+
+/// Why a [`Engine::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every node reported [`Protocol::is_done`] and no message is in
+    /// flight.
+    Done {
+        /// Round at which the run stopped.
+        round: u64,
+    },
+    /// No messages in flight, no pending wake-ups, but not all nodes are
+    /// done — the system can never make progress again.
+    Quiescent {
+        /// Round at which the run stopped.
+        round: u64,
+    },
+    /// The round limit was reached first.
+    RoundLimit {
+        /// Round at which the run stopped.
+        round: u64,
+    },
+    /// The caller-provided stop predicate fired.
+    Stopped {
+        /// Round at which the run stopped.
+        round: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Round at which the run ended, whatever the reason.
+    pub fn round(&self) -> u64 {
+        match *self {
+            RunOutcome::Done { round }
+            | RunOutcome::Quiescent { round }
+            | RunOutcome::RoundLimit { round }
+            | RunOutcome::Stopped { round } => round,
+        }
+    }
+
+    /// Whether the run ended with every node done.
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunOutcome::Done { .. })
+    }
+}
+
+/// Deterministic, event-driven executor of the synchronous CONGEST model.
+///
+/// Nodes run in lock-step rounds; each directed edge carries at most one
+/// message per round (queued excess is delivered in later rounds — this is
+/// how congestion manifests as time). Idle stretches (all nodes waiting on
+/// a scheduled wake-up) are skipped in `O(1)`, so the paper's generous
+/// fixed-`T` schedules cost nothing to simulate.
+///
+/// ```
+/// use std::sync::Arc;
+/// use welle_congest::{Engine, EngineConfig, testing::FloodMax};
+/// use welle_graph::gen;
+///
+/// let g = Arc::new(gen::ring(8).unwrap());
+/// let nodes = (0..8).map(|i| FloodMax::new(i as u64)).collect();
+/// let mut engine = Engine::new(g, nodes, EngineConfig::default());
+/// let outcome = engine.run(1_000);
+/// assert!(outcome.is_done());
+/// // Everyone learned the maximum id.
+/// assert!(engine.nodes().iter().all(|n| n.best() == 7));
+/// ```
+#[derive(Debug)]
+pub struct Engine<P: Protocol> {
+    graph: Arc<Graph>,
+    cfg: EngineConfig,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    queues: EdgeQueues<P::Msg>,
+    inboxes: Vec<Vec<(Port, P::Msg)>>,
+    inbox_active: Vec<u32>,
+    inbox_flag: Vec<bool>,
+    wakeups: BinaryHeap<Reverse<(u64, u32)>>,
+    round: u64,
+    started: bool,
+    done_flags: Vec<bool>,
+    done_count: usize,
+    metrics: Metrics,
+    scratch_sends: Vec<(Port, P::Msg)>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine over `graph` with one protocol instance per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.n()`.
+    pub fn new(graph: Arc<Graph>, nodes: Vec<P>, cfg: EngineConfig) -> Self {
+        assert_eq!(
+            nodes.len(),
+            graph.n(),
+            "need exactly one protocol instance per node"
+        );
+        let n = graph.n();
+        let rngs = (0..n).map(|i| node_rng(cfg.seed, i)).collect();
+        Engine {
+            queues: EdgeQueues::new(graph.directed_edge_count()),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            inbox_active: Vec::new(),
+            inbox_flag: vec![false; n],
+            wakeups: BinaryHeap::new(),
+            round: 0,
+            started: false,
+            done_flags: vec![false; n],
+            done_count: 0,
+            metrics: Metrics::new(n),
+            scratch_sends: Vec::new(),
+            graph,
+            cfg,
+            nodes,
+            rngs,
+        }
+    }
+
+    /// Creates an engine with protocols built per node index.
+    pub fn from_fn(
+        graph: Arc<Graph>,
+        cfg: EngineConfig,
+        mut make: impl FnMut(usize) -> P,
+    ) -> Self {
+        let nodes = (0..graph.n()).map(&mut make).collect();
+        Engine::new(graph, nodes, cfg)
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The simulated network.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Traffic metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Messages queued on edges, not yet transmitted.
+    pub fn in_flight(&self) -> usize {
+        self.queues.in_flight()
+    }
+
+    /// Immutable view of the protocol instances.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The protocol instance at node `i`.
+    pub fn node(&self, i: usize) -> &P {
+        &self.nodes[i]
+    }
+
+    /// Consumes the engine, returning the protocol instances.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// Runs until [`RunOutcome::Done`], [`RunOutcome::Quiescent`], or the
+    /// round limit.
+    pub fn run(&mut self, round_limit: u64) -> RunOutcome {
+        self.run_observed(round_limit, &mut NoopObserver)
+    }
+
+    /// Like [`Engine::run`] but notifying `obs` of every transmission.
+    pub fn run_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+    ) -> RunOutcome {
+        self.run_until_observed(round_limit, obs, |_| false)
+    }
+
+    /// Runs until done/quiescent/limit or until `stop` returns true
+    /// (checked after every simulated round).
+    pub fn run_until(
+        &mut self,
+        round_limit: u64,
+        stop: impl FnMut(&Engine<P>) -> bool,
+    ) -> RunOutcome {
+        self.run_until_observed(round_limit, &mut NoopObserver, stop)
+    }
+
+    /// The most general run loop: observer plus stop predicate.
+    pub fn run_until_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+        mut stop: impl FnMut(&Engine<P>) -> bool,
+    ) -> RunOutcome {
+        loop {
+            if self.started {
+                let idle = self.inbox_active.is_empty() && self.queues.in_flight() == 0;
+                if idle {
+                    if self.done_count == self.nodes.len() {
+                        return RunOutcome::Done { round: self.round };
+                    }
+                    match self.wakeups.peek() {
+                        None => return RunOutcome::Quiescent { round: self.round },
+                        Some(&Reverse((r, _))) => {
+                            if r > self.round {
+                                // Skip the idle stretch in O(1).
+                                self.round = r;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.round >= round_limit {
+                return RunOutcome::RoundLimit { round: self.round };
+            }
+            self.step_observed(obs);
+            if stop(self) {
+                return RunOutcome::Stopped { round: self.round };
+            }
+        }
+    }
+
+    /// Simulates exactly one round (start-up on the first call).
+    pub fn step(&mut self) {
+        self.step_observed(&mut NoopObserver);
+    }
+
+    /// One round with an observer.
+    pub fn step_observed(&mut self, obs: &mut dyn TransmitObserver) {
+        let mut any_activity = false;
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let mut empty = Vec::new();
+                self.run_callback(i, &mut empty, CallKind::Start);
+            }
+            any_activity = true;
+        } else {
+            let mut active: Vec<u32> = std::mem::take(&mut self.inbox_active);
+            while let Some(&Reverse((r, node))) = self.wakeups.peek() {
+                if r <= self.round {
+                    self.wakeups.pop();
+                    active.push(node);
+                } else {
+                    break;
+                }
+            }
+            active.sort_unstable();
+            active.dedup();
+            for &node in &active {
+                let i = node as usize;
+                self.inbox_flag[i] = false;
+                let mut inbox = std::mem::take(&mut self.inboxes[i]);
+                self.run_callback(i, &mut inbox, CallKind::Round);
+                inbox.clear();
+                self.inboxes[i] = inbox; // recycle the allocation
+                any_activity = true;
+            }
+        }
+
+        // Transmission phase: one message per active directed edge.
+        let graph = &self.graph;
+        let round = self.round;
+        let metrics = &mut self.metrics;
+        let inboxes = &mut self.inboxes;
+        let inbox_flag = &mut self.inbox_flag;
+        let inbox_active = &mut self.inbox_active;
+        let mut transmitted = false;
+        self.queues.transmit(graph, |u, p, msg| {
+            let v = graph.neighbor(u, p);
+            let q = graph.reverse_port(u, p);
+            let e = graph.edge_id(u, p);
+            let bits = msg.bit_size();
+            metrics.messages += 1;
+            metrics.bits += bits as u64;
+            obs.on_transmit(&TransmitEvent {
+                round,
+                from: u,
+                from_port: p,
+                to: v,
+                to_port: q,
+                edge: e,
+                bits,
+            });
+            inboxes[v.index()].push((q, msg));
+            if !inbox_flag[v.index()] {
+                inbox_flag[v.index()] = true;
+                inbox_active.push(v.raw());
+            }
+            transmitted = true;
+        });
+        metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.queues.max_backlog());
+        if any_activity || transmitted {
+            metrics.active_rounds += 1;
+        }
+        self.round += 1;
+    }
+
+    /// Broadcasts a control signal to every node (see
+    /// [`Protocol::on_signal`]); resulting sends are transmitted starting
+    /// with the next round.
+    pub fn signal(&mut self, signal: Signal) {
+        for i in 0..self.nodes.len() {
+            let mut empty = Vec::new();
+            self.run_callback(i, &mut empty, CallKind::Signal(signal));
+        }
+    }
+
+    fn run_callback(&mut self, i: usize, inbox: &mut Vec<(Port, P::Msg)>, kind: CallKind) {
+        let degree = self.graph.degree(NodeId::new(i));
+        let n = self.graph.n();
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut wake = None;
+        {
+            let mut ctx = Context {
+                round: self.round,
+                n,
+                degree,
+                rng: &mut self.rngs[i],
+                sends: &mut sends,
+                wake: &mut wake,
+            };
+            match kind {
+                CallKind::Start => self.nodes[i].on_start(&mut ctx),
+                CallKind::Round => self.nodes[i].on_round(&mut ctx, inbox),
+                CallKind::Signal(s) => self.nodes[i].on_signal(&mut ctx, s),
+            }
+        }
+        let u = NodeId::new(i);
+        for (port, msg) in sends.drain(..) {
+            if let Some(budget) = self.cfg.bandwidth_bits {
+                let sz = msg.bit_size();
+                assert!(
+                    sz <= budget,
+                    "protocol bug: message of {sz} bits exceeds the {budget}-bit CONGEST budget"
+                );
+            }
+            self.metrics.sent_by_node[i] += 1;
+            self.queues.push(&self.graph, u, port, msg);
+        }
+        self.scratch_sends = sends;
+        if let Some(r) = wake {
+            self.wakeups.push(Reverse((r.max(self.round + 1), i as u32)));
+        }
+        let done_now = self.nodes[i].is_done();
+        if done_now != self.done_flags[i] {
+            self.done_flags[i] = done_now;
+            if done_now {
+                self.done_count += 1;
+            } else {
+                self.done_count -= 1;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum CallKind {
+    Start,
+    Round,
+    Signal(Signal),
+}
+
+/// Derives a node's private RNG from the master seed (SplitMix64-style
+/// stream separation).
+pub(crate) fn node_rng(seed: u64, index: usize) -> StdRng {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RecordingObserver;
+    use crate::testing::{Echo, FloodMax};
+    use welle_graph::gen;
+
+    fn flood_engine(n: usize, seed: u64) -> Engine<FloodMax> {
+        let g = Arc::new(gen::ring(n).unwrap());
+        let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
+        Engine::new(
+            g,
+            nodes,
+            EngineConfig {
+                seed,
+                bandwidth_bits: None,
+            },
+        )
+    }
+
+    #[test]
+    fn flood_max_converges_on_ring() {
+        let mut e = flood_engine(10, 1);
+        let out = e.run(10_000);
+        assert!(out.is_done(), "outcome: {out:?}");
+        for node in e.nodes() {
+            assert_eq!(node.best(), 9);
+        }
+        // Round count ~ diameter: information travels one hop per round.
+        assert!(out.round() >= 5, "needs at least eccentricity rounds");
+        assert!(out.round() <= 20, "{} rounds is too slow", out.round());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let mut a = flood_engine(16, 42);
+        let mut b = flood_engine(16, 42);
+        a.run(10_000);
+        b.run(10_000);
+        assert_eq!(a.metrics().messages, b.metrics().messages);
+        assert_eq!(a.metrics().bits, b.metrics().bits);
+        assert_eq!(a.round(), b.round());
+    }
+
+    #[test]
+    fn observer_sees_every_message() {
+        let mut e = flood_engine(8, 3);
+        let mut rec = RecordingObserver::default();
+        e.run_observed(10_000, &mut rec);
+        assert_eq!(rec.events.len() as u64, e.metrics().messages);
+        // Events are ordered by round.
+        for w in rec.events.windows(2) {
+            assert!(w[0].round <= w[1].round);
+        }
+    }
+
+    #[test]
+    fn one_message_per_edge_per_round() {
+        // A node that sends k messages through one port in a single round
+        // must have them delivered over k successive rounds.
+        struct Burst {
+            sent: bool,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                if ctx.degree() == 1 && !self.sent {
+                    self.sent = true;
+                    for k in 0..5 {
+                        ctx.send(Port::new(0), k);
+                    }
+                }
+            }
+            fn on_round(&mut self, _ctx: &mut Context<'_, u64>, inbox: &mut Vec<(Port, u64)>) {
+                inbox.clear();
+            }
+        }
+        let g = Arc::new(gen::path(2).unwrap());
+        let mut e = Engine::new(
+            g,
+            vec![Burst { sent: false }, Burst { sent: false }],
+            EngineConfig::default(),
+        );
+        let mut rec = RecordingObserver::default();
+        e.run_observed(100, &mut rec);
+        // Both endpoints burst 5 messages; each direction carries exactly
+        // one message per round: rounds 0..=4 have 2 transmissions each.
+        assert_eq!(rec.events.len(), 10);
+        for r in 0..5u64 {
+            assert_eq!(rec.events.iter().filter(|e| e.round == r).count(), 2);
+        }
+        assert_eq!(e.metrics().max_edge_backlog, 5);
+    }
+
+    #[test]
+    fn bandwidth_cap_panics_on_oversized_message() {
+        struct Big;
+        impl Protocol for Big {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.send(Port::new(0), 1);
+            }
+            fn on_round(&mut self, _: &mut Context<'_, u64>, i: &mut Vec<(Port, u64)>) {
+                i.clear();
+            }
+        }
+        let g = Arc::new(gen::path(2).unwrap());
+        let mut e = Engine::new(
+            g,
+            vec![Big, Big],
+            EngineConfig {
+                seed: 0,
+                bandwidth_bits: Some(32), // u64 payload claims 64 bits
+            },
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.run(10);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn echo_round_trip_and_quiescence() {
+        let g = Arc::new(gen::star(5).unwrap());
+        let nodes = (0..5).map(|i| Echo::new(i == 1)).collect();
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        let out = e.run(100);
+        // Echo never reports done; the run ends quiescent.
+        assert!(matches!(out, RunOutcome::Quiescent { .. }));
+        // The initiator (leaf 1) pinged the hub and got a reply.
+        assert_eq!(e.node(1).replies_received(), 1);
+        assert_eq!(e.metrics().messages, 2);
+    }
+
+    #[test]
+    fn wakeups_skip_idle_rounds_cheaply() {
+        struct Sleeper {
+            fired: bool,
+        }
+        impl Protocol for Sleeper {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.wake_at(1_000_000);
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_, ()>, inbox: &mut Vec<(Port, ())>) {
+                inbox.clear();
+                if ctx.round() >= 1_000_000 {
+                    self.fired = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.fired
+            }
+        }
+        let g = Arc::new(gen::path(2).unwrap());
+        let mut e = Engine::new(
+            g,
+            vec![Sleeper { fired: false }, Sleeper { fired: false }],
+            EngineConfig::default(),
+        );
+        let out = e.run(2_000_000);
+        assert!(out.is_done());
+        assert_eq!(out.round(), 1_000_001);
+        // Only 2 active rounds (start + wake), despite the huge clock.
+        assert!(e.metrics().active_rounds <= 3);
+    }
+
+    #[test]
+    fn round_limit_respected() {
+        let mut e = flood_engine(64, 5);
+        let out = e.run(2);
+        assert!(matches!(out, RunOutcome::RoundLimit { .. }));
+        assert_eq!(e.round(), 2);
+    }
+
+    #[test]
+    fn stop_predicate_fires() {
+        let mut e = flood_engine(32, 7);
+        let out = e.run_until(10_000, |eng| eng.metrics().messages >= 10);
+        assert!(matches!(out, RunOutcome::Stopped { .. }));
+        assert!(e.metrics().messages >= 10);
+    }
+
+    #[test]
+    fn signal_reaches_every_node() {
+        struct SignalCounter {
+            seen: u64,
+        }
+        impl Protocol for SignalCounter {
+            type Msg = ();
+            fn on_round(&mut self, _: &mut Context<'_, ()>, i: &mut Vec<(Port, ())>) {
+                i.clear();
+            }
+            fn on_signal(&mut self, _: &mut Context<'_, ()>, s: Signal) {
+                self.seen = s;
+            }
+        }
+        let g = Arc::new(gen::ring(4).unwrap());
+        let mut e = Engine::new(
+            g,
+            (0..4).map(|_| SignalCounter { seen: 0 }).collect(),
+            EngineConfig::default(),
+        );
+        e.step();
+        e.signal(99);
+        assert!(e.nodes().iter().all(|n| n.seen == 99));
+    }
+
+    #[test]
+    fn node_rng_streams_differ() {
+        use rand::RngExt;
+        let mut a = node_rng(1, 0);
+        let mut b = node_rng(1, 1);
+        let va: u64 = a.random();
+        let vb: u64 = b.random();
+        assert_ne!(va, vb);
+    }
+}

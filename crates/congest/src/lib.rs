@@ -1,0 +1,53 @@
+//! Synchronous CONGEST-model network simulator.
+//!
+//! Implements exactly the computing model of §1 of *Leader Election in
+//! Well-Connected Graphs* (Gilbert, Robinson, Sourav; PODC 2018):
+//!
+//! * synchronous rounds with simultaneous wake-up,
+//! * anonymous nodes addressing neighbours only through **ports**
+//!   (asymmetric port numbering, KT0),
+//! * a bandwidth budget per edge per round (`O(log n)` bits in CONGEST
+//!   mode, unlimited for LOCAL-model experiments),
+//! * **congestion**: one message per directed edge per round; excess
+//!   messages queue and arrive later,
+//! * per-node seeded randomness, so any run is a pure function of
+//!   `(graph, protocols, seed)`.
+//!
+//! Two executors share these semantics: the event-driven [`Engine`]
+//! (skips idle rounds in `O(1)` — essential for the paper's fixed-`T`
+//! schedules) and the dense multi-threaded [`ThreadedEngine`].
+//!
+//! # Example: flooding the maximum id
+//!
+//! ```
+//! use std::sync::Arc;
+//! use welle_congest::{testing::FloodMax, Engine, EngineConfig};
+//! use welle_graph::gen;
+//!
+//! let g = Arc::new(gen::hypercube(4).unwrap());
+//! let nodes = (0..g.n()).map(|i| FloodMax::new(i as u64)).collect();
+//! let mut engine = Engine::new(g, nodes, EngineConfig::default());
+//! let outcome = engine.run(10_000);
+//! assert!(outcome.is_done());
+//! assert_eq!(engine.nodes().iter().filter(|n| n.is_leader()).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod message;
+mod metrics;
+mod protocol;
+mod queues;
+mod threaded;
+mod trace;
+
+pub mod testing;
+
+pub use engine::{Engine, EngineConfig, RunOutcome};
+pub use message::{bits_for, id_bits, Payload};
+pub use metrics::{Metrics, NoopObserver, RecordingObserver, TransmitEvent, TransmitObserver};
+pub use protocol::{Context, Protocol, Signal};
+pub use threaded::ThreadedEngine;
+pub use trace::Trace;

@@ -1,0 +1,78 @@
+//! Message payloads and their bit-size accounting.
+
+/// A message that can travel over an edge in one round.
+///
+/// The CONGEST model (§1 of the paper) allows `O(log n)` bits per edge per
+/// round; [`Payload::bit_size`] is how the simulator enforces that budget
+/// and how the metrics report total traffic in bits. Implementations should
+/// count the bits of the *information content* (ids are `4⌈log₂ n⌉` bits,
+/// counters `⌈log₂ range⌉` bits, flags 1 bit), not Rust's in-memory layout.
+pub trait Payload: Clone + std::fmt::Debug + Send + 'static {
+    /// Size of this message in bits when serialized on the wire.
+    fn bit_size(&self) -> usize;
+}
+
+impl Payload for () {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for u32 {
+    fn bit_size(&self) -> usize {
+        32
+    }
+}
+
+impl Payload for u64 {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Number of bits needed to represent values in `0..=max` (at least 1).
+///
+/// ```
+/// use welle_congest::bits_for;
+/// assert_eq!(bits_for(0), 1);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(255), 8);
+/// assert_eq!(bits_for(256), 9);
+/// ```
+pub fn bits_for(max: u64) -> usize {
+    (64 - max.leading_zeros() as usize).max(1)
+}
+
+/// Bits for an id drawn from `[1, n⁴]` — the paper's id range
+/// (§1 "Port Numbering Model").
+pub fn id_bits(n: usize) -> usize {
+    4 * bits_for(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn id_bits_is_four_log_n() {
+        assert_eq!(id_bits(1000), 4 * 10); // 1000 fits in 10 bits
+        assert_eq!(id_bits(1024), 4 * 11); // 1024 needs 11 bits
+    }
+
+    #[test]
+    fn unit_and_integer_payloads() {
+        assert_eq!(().bit_size(), 1);
+        assert_eq!(7u32.bit_size(), 32);
+        assert_eq!(7u64.bit_size(), 64);
+    }
+}

@@ -1,0 +1,180 @@
+//! The node-side protocol interface and its execution context.
+
+use rand::rngs::StdRng;
+use welle_graph::Port;
+
+use crate::message::Payload;
+
+/// Out-of-band control value delivered by [`crate::Engine::signal`].
+///
+/// Signals are a *simulation* convenience (they model the globally known
+/// round schedule of the paper without burning simulated rounds in
+/// `Schedule::Adaptive` mode); they carry no protocol information beyond
+/// the value itself.
+pub type Signal = u64;
+
+/// A synchronous message-passing protocol running on one anonymous node.
+///
+/// The engine drives all nodes in lock-step rounds:
+///
+/// 1. At round 0, [`Protocol::on_start`] runs once on every node.
+/// 2. In each later round, [`Protocol::on_round`] runs on every node that
+///    has incoming messages or a due wake-up (see [`Context::wake_at`]).
+/// 3. Messages sent in round `r` arrive in round `r + 1` or later (later
+///    when the per-edge queue is backed up: only one message crosses each
+///    directed edge per round).
+///
+/// # Contract
+///
+/// `on_round` **must** be a no-op — in particular it must not draw from
+/// [`Context::rng`] — when the inbox is empty and the node has no due
+/// wake-up. Engines are allowed to skip such calls (the event-driven
+/// [`crate::Engine`] does; the dense [`crate::ThreadedEngine`] does not),
+/// and the two must produce identical executions.
+///
+/// Nodes are anonymous: the context deliberately exposes no node index.
+/// Identity must come from randomness (e.g. the paper's ids in `[1, n⁴]`),
+/// drawn from the seeded per-node [`Context::rng`].
+pub trait Protocol: Send {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Called once on every node at round 0, before any delivery.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called whenever this node has incoming messages or a due wake-up.
+    ///
+    /// `inbox` contains `(arrival_port, message)` pairs delivered this
+    /// round; the implementation may drain it freely.
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &mut Vec<(Port, Self::Msg)>);
+
+    /// Called when the driver broadcasts a control signal
+    /// (see [`crate::Engine::signal`]). Default: ignored.
+    fn on_signal(&mut self, ctx: &mut Context<'_, Self::Msg>, signal: Signal) {
+        let _ = (ctx, signal);
+    }
+
+    /// Whether this node has terminated (it promises to send no further
+    /// messages spontaneously; it may still be used as a relay by the
+    /// engine delivering messages to it). Default: `false`.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Per-invocation execution context handed to protocol callbacks.
+///
+/// Provides the model-visible environment: the global round clock, the
+/// network size `n` (the paper assumes nodes know `n`), the node's degree
+/// (its port count), a private source of randomness, and the send/wake-up
+/// effects.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) round: u64,
+    pub(crate) n: usize,
+    pub(crate) degree: usize,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) sends: &'a mut Vec<(Port, M)>,
+    pub(crate) wake: &'a mut Option<u64>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Network size `n` (known to all nodes in the paper's model).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This node's degree, i.e. its number of ports `0..degree`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The node's private random generator (deterministically seeded by
+    /// the engine from the run seed and the node index).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues `msg` for transmission through `port`.
+    ///
+    /// Transmission respects the CONGEST discipline: one message per
+    /// directed edge per round, so bursts sent in the same round are
+    /// serialized over subsequent rounds (congestion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree` — sending through a non-existent port is
+    /// a protocol bug.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            port.index() < self.degree,
+            "send through port {port} but node has degree {}",
+            self.degree
+        );
+        self.sends.push((port, msg));
+    }
+
+    /// Requests a wake-up call no later than round `round` (the earliest
+    /// requested wake-up wins). Used by clock-driven protocols to observe
+    /// schedule boundaries without busy-waiting.
+    pub fn wake_at(&mut self, round: u64) {
+        *self.wake = Some(match *self.wake {
+            Some(cur) => cur.min(round),
+            None => round,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_accessors_and_effects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sends: Vec<(Port, u64)> = Vec::new();
+        let mut wake = None;
+        let mut ctx = Context {
+            round: 3,
+            n: 10,
+            degree: 2,
+            rng: &mut rng,
+            sends: &mut sends,
+            wake: &mut wake,
+        };
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.n(), 10);
+        assert_eq!(ctx.degree(), 2);
+        ctx.send(Port::new(1), 99);
+        ctx.wake_at(10);
+        ctx.wake_at(7);
+        ctx.wake_at(12);
+        assert_eq!(sends, vec![(Port::new(1), 99)]);
+        assert_eq!(wake, Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn sending_on_bad_port_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sends: Vec<(Port, u64)> = Vec::new();
+        let mut wake = None;
+        let mut ctx = Context {
+            round: 0,
+            n: 4,
+            degree: 1,
+            rng: &mut rng,
+            sends: &mut sends,
+            wake: &mut wake,
+        };
+        ctx.send(Port::new(1), 5);
+    }
+}

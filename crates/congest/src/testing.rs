@@ -1,0 +1,236 @@
+//! Reference protocols used to validate engine semantics (and as simple
+//! examples of the [`crate::Protocol`] interface). They are `pub` because
+//! downstream crates reuse them in integration tests and benchmarks.
+
+use welle_graph::Port;
+
+use crate::protocol::{Context, Protocol};
+
+/// Classic flooding of the maximum id: on learning a larger id, forward it
+/// through every port. Terminates when the true maximum has stabilized
+/// (each node is done once it has flooded its current best and heard
+/// nothing better).
+///
+/// This is the `O(m · D)`-message baseline the paper contrasts with
+/// (see §1 Prior Works); `welle-core` wraps it as an election baseline.
+#[derive(Clone, Debug)]
+pub struct FloodMax {
+    id: u64,
+    best: u64,
+    needs_flood: bool,
+}
+
+impl FloodMax {
+    /// A node with identity `id`.
+    pub fn new(id: u64) -> Self {
+        FloodMax {
+            id,
+            best: id,
+            needs_flood: true,
+        }
+    }
+
+    /// This node's own id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Largest id seen so far.
+    pub fn best(&self) -> u64 {
+        self.best
+    }
+
+    /// Whether this node currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.best == self.id
+    }
+}
+
+impl Protocol for FloodMax {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        for p in 0..ctx.degree() {
+            ctx.send(Port::new(p), self.best);
+        }
+        self.needs_flood = false;
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &mut Vec<(Port, u64)>) {
+        let mut improved = false;
+        for (_, id) in inbox.drain(..) {
+            if id > self.best {
+                self.best = id;
+                improved = true;
+            }
+        }
+        if improved {
+            for p in 0..ctx.degree() {
+                ctx.send(Port::new(p), self.best);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.needs_flood
+    }
+}
+
+/// Minimal request/response pair: designated initiators ping port 0 once;
+/// any node answers pings on the arrival port.
+#[derive(Clone, Debug)]
+pub struct Echo {
+    initiator: bool,
+    replies: usize,
+}
+
+/// Message type for [`Echo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EchoMsg {
+    /// Request.
+    Ping,
+    /// Response.
+    Pong,
+}
+
+impl crate::message::Payload for EchoMsg {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl Echo {
+    /// Creates a node; `initiator` nodes ping through port 0 at start.
+    pub fn new(initiator: bool) -> Self {
+        Echo {
+            initiator,
+            replies: 0,
+        }
+    }
+
+    /// Number of pongs received.
+    pub fn replies_received(&self) -> usize {
+        self.replies
+    }
+}
+
+impl Protocol for Echo {
+    type Msg = EchoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, EchoMsg>) {
+        if self.initiator && ctx.degree() > 0 {
+            ctx.send(Port::new(0), EchoMsg::Ping);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, EchoMsg>, inbox: &mut Vec<(Port, EchoMsg)>) {
+        for (port, msg) in inbox.drain(..) {
+            match msg {
+                EchoMsg::Ping => ctx.send(port, EchoMsg::Pong),
+                EchoMsg::Pong => self.replies += 1,
+            }
+        }
+    }
+}
+
+/// Distributed BFS layering from designated roots: each node records the
+/// round at which the wave first reached it. Used to cross-validate the
+/// engine's timing against [`welle_graph::analysis::bfs`].
+#[derive(Clone, Debug)]
+pub struct BfsWave {
+    root: bool,
+    level: Option<u64>,
+}
+
+impl BfsWave {
+    /// Creates a node; `root` nodes start the wave at level 0.
+    pub fn new(root: bool) -> Self {
+        BfsWave { root, level: None }
+    }
+
+    /// The BFS level at which the wave arrived (`0` for roots), if it has.
+    pub fn level(&self) -> Option<u64> {
+        self.level
+    }
+}
+
+impl Protocol for BfsWave {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.root {
+            self.level = Some(0);
+            for p in 0..ctx.degree() {
+                ctx.send(Port::new(p), 1);
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &mut Vec<(Port, u64)>) {
+        let mut first: Option<u64> = None;
+        for (_, lvl) in inbox.drain(..) {
+            first = Some(match first {
+                Some(f) => f.min(lvl),
+                None => lvl,
+            });
+        }
+        if self.level.is_none() {
+            if let Some(lvl) = first {
+                self.level = Some(lvl);
+                for p in 0..ctx.degree() {
+                    ctx.send(Port::new(p), lvl + 1);
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.level.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use welle_graph::{analysis, gen, NodeId};
+
+    #[test]
+    fn bfs_wave_matches_graph_bfs() {
+        let g = Arc::new(gen::torus2d(4, 5).unwrap());
+        let nodes = (0..g.n()).map(|i| BfsWave::new(i == 7)).collect();
+        let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+        let out = e.run(1_000);
+        assert!(out.is_done());
+        let dist = analysis::bfs(&g, NodeId::new(7));
+        for (i, node) in e.nodes().iter().enumerate() {
+            assert_eq!(node.level(), Some(dist[i] as u64), "node {i}");
+        }
+    }
+
+    #[test]
+    fn flood_max_message_budget_is_linear_in_m_for_lucky_start() {
+        // When the max node floods first and dominates, total messages are
+        // O(m); in general it is O(m * D). Check the upper bound loosely.
+        let g = Arc::new(gen::clique(10).unwrap());
+        let nodes = (0..10).map(|i| FloodMax::new(i as u64)).collect();
+        let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+        e.run(1_000);
+        let m = g.m() as u64;
+        assert!(e.metrics().messages >= 2 * m); // initial flood uses 2m
+        assert!(e.metrics().messages <= 2 * m * 10);
+    }
+
+    #[test]
+    fn echo_only_replies_to_pings() {
+        let g = Arc::new(gen::path(3).unwrap());
+        let nodes = vec![Echo::new(true), Echo::new(false), Echo::new(false)];
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.run(50);
+        assert_eq!(e.node(0).replies_received(), 1);
+        assert_eq!(e.node(1).replies_received(), 0);
+        assert_eq!(e.node(2).replies_received(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Dense, multi-threaded executor with identical semantics to
+//! [`crate::Engine`].
+//!
+//! Each round, *all* nodes are scanned (no event-driven skipping); the
+//! protocol phase is parallelized over contiguous node chunks with scoped
+//! threads. Per-node RNGs make the execution bit-identical to the serial
+//! engine for protocols that honour the [`crate::Protocol`] no-op contract.
+//! Use this engine when most nodes are active every round (dense floods);
+//! use [`crate::Engine`] for schedule-driven protocols with idle stretches.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use welle_graph::{Graph, NodeId, Port};
+
+use crate::engine::{node_rng, EngineConfig, RunOutcome};
+use crate::message::Payload;
+use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
+use crate::protocol::{Context, Protocol};
+use crate::queues::EdgeQueues;
+
+/// Multi-threaded dense executor. See the module docs for the trade-offs
+/// versus [`crate::Engine`].
+#[derive(Debug)]
+pub struct ThreadedEngine<P: Protocol> {
+    graph: Arc<Graph>,
+    cfg: EngineConfig,
+    threads: usize,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    queues: EdgeQueues<P::Msg>,
+    inboxes: Vec<Vec<(Port, P::Msg)>>,
+    outboxes: Vec<Vec<(Port, P::Msg)>>,
+    wake_by_node: Vec<Option<u64>>,
+    round: u64,
+    started: bool,
+    metrics: Metrics,
+}
+
+impl<P: Protocol> ThreadedEngine<P> {
+    /// Creates a threaded engine with `threads` worker threads
+    /// (`threads = 1` degenerates to a dense serial engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.n()` or `threads == 0`.
+    pub fn new(graph: Arc<Graph>, nodes: Vec<P>, cfg: EngineConfig, threads: usize) -> Self {
+        assert_eq!(nodes.len(), graph.n(), "one protocol per node");
+        assert!(threads > 0, "need at least one worker thread");
+        let n = graph.n();
+        ThreadedEngine {
+            rngs: (0..n).map(|i| node_rng(cfg.seed, i)).collect(),
+            queues: EdgeQueues::new(graph.directed_edge_count()),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Vec::new()).collect(),
+            wake_by_node: vec![None; n],
+            round: 0,
+            started: false,
+            metrics: Metrics::new(n),
+            graph,
+            cfg,
+            threads,
+            nodes,
+        }
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Traffic metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Immutable view of the protocol instances.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the engine, returning the protocol instances.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// Runs until done/quiescent or the round limit; see
+    /// [`crate::Engine::run`] for the semantics.
+    pub fn run(&mut self, round_limit: u64) -> RunOutcome {
+        self.run_observed(round_limit, &mut NoopObserver)
+    }
+
+    /// Like [`ThreadedEngine::run`] with a transmission observer.
+    pub fn run_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+    ) -> RunOutcome {
+        loop {
+            if self.started {
+                let idle = self.queues.in_flight() == 0
+                    && self.inboxes.iter().all(|i| i.is_empty());
+                if idle {
+                    if self.nodes.iter().all(|p| p.is_done()) {
+                        return RunOutcome::Done { round: self.round };
+                    }
+                    match self.wake_by_node.iter().flatten().min() {
+                        None => return RunOutcome::Quiescent { round: self.round },
+                        Some(&r) => {
+                            if r > self.round {
+                                self.round = r;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.round >= round_limit {
+                return RunOutcome::RoundLimit { round: self.round };
+            }
+            self.step_observed(obs);
+        }
+    }
+
+    /// Simulates one round (start-up on the first call).
+    pub fn step_observed(&mut self, obs: &mut dyn TransmitObserver) {
+        let n = self.graph.n();
+        let starting = !self.started;
+        self.started = true;
+        let round = self.round;
+        let chunk = n.div_ceil(self.threads);
+        let graph = &self.graph;
+
+        // Protocol phase, parallel over contiguous chunks.
+        {
+            let node_chunks = self.nodes.chunks_mut(chunk);
+            let rng_chunks = self.rngs.chunks_mut(chunk);
+            let inbox_chunks = self.inboxes.chunks_mut(chunk);
+            let outbox_chunks = self.outboxes.chunks_mut(chunk);
+            let wake_chunks = self.wake_by_node.chunks_mut(chunk);
+            std::thread::scope(|scope| {
+                for (ci, ((((nodes, rngs), inboxes), outboxes), wakes)) in node_chunks
+                    .zip(rng_chunks)
+                    .zip(inbox_chunks)
+                    .zip(outbox_chunks)
+                    .zip(wake_chunks)
+                    .enumerate()
+                {
+                    let base = ci * chunk;
+                    scope.spawn(move || {
+                        for (off, (((node, rng), inbox), outbox)) in nodes
+                            .iter_mut()
+                            .zip(rngs.iter_mut())
+                            .zip(inboxes.iter_mut())
+                            .zip(outbox_chunk_iter(outboxes))
+                            .enumerate()
+                        {
+                            let i = base + off;
+                            let due = wakes[off].is_some_and(|w| w <= round);
+                            if !starting && inbox.is_empty() && !due {
+                                continue;
+                            }
+                            if due {
+                                wakes[off] = None;
+                            }
+                            let mut wake = None;
+                            {
+                                let mut ctx = Context {
+                                    round,
+                                    n,
+                                    degree: graph.degree(NodeId::new(i)),
+                                    rng,
+                                    sends: outbox,
+                                    wake: &mut wake,
+                                };
+                                if starting {
+                                    node.on_start(&mut ctx);
+                                } else {
+                                    node.on_round(&mut ctx, inbox);
+                                }
+                            }
+                            inbox.clear();
+                            if let Some(r) = wake {
+                                let r = r.max(round + 1);
+                                wakes[off] = Some(match wakes[off] {
+                                    Some(cur) => cur.min(r),
+                                    None => r,
+                                });
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Serial merge: enqueue sends in node order (determinism), then
+        // transmit exactly as the serial engine does.
+        for i in 0..n {
+            let u = NodeId::new(i);
+            let outbox = &mut self.outboxes[i];
+            for (port, msg) in outbox.drain(..) {
+                if let Some(budget) = self.cfg.bandwidth_bits {
+                    let sz = msg.bit_size();
+                    assert!(
+                        sz <= budget,
+                        "protocol bug: message of {sz} bits exceeds the {budget}-bit budget"
+                    );
+                }
+                self.metrics.sent_by_node[i] += 1;
+                self.queues.push(&self.graph, u, port, msg);
+            }
+        }
+        let metrics = &mut self.metrics;
+        let inboxes = &mut self.inboxes;
+        let mut transmitted = false;
+        self.queues.transmit(graph, |u, p, msg| {
+            let v = graph.neighbor(u, p);
+            let q = graph.reverse_port(u, p);
+            let e = graph.edge_id(u, p);
+            let bits = msg.bit_size();
+            metrics.messages += 1;
+            metrics.bits += bits as u64;
+            obs.on_transmit(&TransmitEvent {
+                round,
+                from: u,
+                from_port: p,
+                to: v,
+                to_port: q,
+                edge: e,
+                bits,
+            });
+            inboxes[v.index()].push((q, msg));
+            transmitted = true;
+        });
+        metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.queues.max_backlog());
+        if transmitted || starting {
+            metrics.active_rounds += 1;
+        }
+        self.round += 1;
+    }
+}
+
+/// `chunks_mut` gives us `&mut [Vec<..>]`; iterate its elements mutably.
+fn outbox_chunk_iter<T>(chunk: &mut [T]) -> impl Iterator<Item = &mut T> {
+    chunk.iter_mut()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::testing::FloodMax;
+    use welle_graph::gen;
+
+    fn graph() -> Arc<Graph> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        Arc::new(gen::random_regular(48, 4, &mut rng).unwrap())
+    }
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_serial_engine_exactly() {
+        let g = graph();
+        let cfg = EngineConfig {
+            seed: 99,
+            bandwidth_bits: None,
+        };
+        let mk = |_: usize| -> Vec<FloodMax> {
+            (0..g.n()).map(|i| FloodMax::new((i * 7 % 48) as u64)).collect()
+        };
+        let mut serial = Engine::new(Arc::clone(&g), mk(0), cfg);
+        let serial_out = serial.run(100_000);
+
+        for threads in [1usize, 3, 8] {
+            let mut par = ThreadedEngine::new(Arc::clone(&g), mk(0), cfg, threads);
+            let par_out = par.run(100_000);
+            assert_eq!(serial_out.is_done(), par_out.is_done());
+            assert_eq!(serial.metrics().messages, par.metrics().messages);
+            assert_eq!(serial.metrics().bits, par.metrics().bits);
+            for (a, b) in serial.nodes().iter().zip(par.nodes()) {
+                assert_eq!(a.best(), b.best());
+            }
+        }
+    }
+
+    #[test]
+    fn flood_converges_with_threads() {
+        let g = graph();
+        let nodes = (0..g.n()).map(|i| FloodMax::new(i as u64)).collect();
+        let mut e = ThreadedEngine::new(g, nodes, EngineConfig::default(), 4);
+        let out = e.run(10_000);
+        assert!(out.is_done());
+        assert!(e.nodes().iter().all(|n| n.best() == 47));
+    }
+
+    #[test]
+    fn single_thread_equals_multi() {
+        let g = graph();
+        let cfg = EngineConfig::default();
+        let mut one = ThreadedEngine::new(
+            Arc::clone(&g),
+            (0..g.n()).map(|i| FloodMax::new(i as u64)).collect(),
+            cfg,
+            1,
+        );
+        let mut many = ThreadedEngine::new(
+            Arc::clone(&g),
+            (0..g.n()).map(|i| FloodMax::new(i as u64)).collect(),
+            cfg,
+            6,
+        );
+        one.run(10_000);
+        many.run(10_000);
+        assert_eq!(one.metrics().messages, many.metrics().messages);
+        assert_eq!(one.round(), many.round());
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded execution traces for debugging protocols: a ring buffer of
+//! transmission events with query helpers. Attachable anywhere a
+//! [`TransmitObserver`] is accepted.
+
+use std::collections::VecDeque;
+
+use welle_graph::{EdgeId, NodeId};
+
+use crate::metrics::{TransmitEvent, TransmitObserver};
+
+/// A bounded-capacity trace of the most recent transmissions.
+///
+/// ```
+/// use welle_congest::{Trace, TransmitObserver};
+/// let mut trace = Trace::with_capacity(128);
+/// // ... engine.run_observed(limit, &mut trace) ...
+/// assert!(trace.events().count() <= 128);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<TransmitEvent>,
+    total_seen: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            total_seen: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TransmitEvent> {
+        self.events.iter()
+    }
+
+    /// Total events observed (including evicted ones).
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Retained events that touched node `v` (as sender or receiver).
+    pub fn involving(&self, v: NodeId) -> Vec<&TransmitEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.from == v || e.to == v)
+            .collect()
+    }
+
+    /// Retained events that crossed edge `e`.
+    pub fn on_edge(&self, e: EdgeId) -> Vec<&TransmitEvent> {
+        self.events.iter().filter(|ev| ev.edge == e).collect()
+    }
+
+    /// Retained events in the round range `[from, to)`.
+    pub fn in_rounds(&self, from: u64, to: u64) -> Vec<&TransmitEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.round >= from && e.round < to)
+            .collect()
+    }
+
+    /// Renders the retained tail as one line per event (debugging aid).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "r{:>6} {} --{}--> {} ({} bits)\n",
+                e.round, e.from, e.edge, e.to, e.bits
+            ));
+        }
+        out
+    }
+}
+
+impl TransmitObserver for Trace {
+    fn on_transmit(&mut self, event: &TransmitEvent) {
+        self.total_seen += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use welle_graph::Port;
+
+    fn ev(round: u64, from: usize, to: usize, edge: usize) -> TransmitEvent {
+        TransmitEvent {
+            round,
+            from: NodeId::new(from),
+            from_port: Port::new(0),
+            to: NodeId::new(to),
+            to_port: Port::new(0),
+            edge: EdgeId::new(edge),
+            bits: 8,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for r in 0..5 {
+            t.on_transmit(&ev(r, 0, 1, 0));
+        }
+        assert_eq!(t.total_seen(), 5);
+        let rounds: Vec<u64> = t.events().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn query_helpers_filter() {
+        let mut t = Trace::with_capacity(10);
+        t.on_transmit(&ev(0, 0, 1, 0));
+        t.on_transmit(&ev(1, 1, 2, 1));
+        t.on_transmit(&ev(2, 2, 0, 2));
+        assert_eq!(t.involving(NodeId::new(0)).len(), 2);
+        assert_eq!(t.on_edge(EdgeId::new(1)).len(), 1);
+        assert_eq!(t.in_rounds(1, 3).len(), 2);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn works_as_engine_observer() {
+        use crate::testing::FloodMax;
+        use crate::{Engine, EngineConfig};
+        use std::sync::Arc;
+        let g = Arc::new(welle_graph::gen::ring(6).unwrap());
+        let nodes = (0..6).map(|i| FloodMax::new(i as u64)).collect();
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        let mut trace = Trace::with_capacity(16);
+        e.run_observed(1_000, &mut trace);
+        assert_eq!(trace.total_seen(), e.metrics().messages);
+        assert!(trace.events().count() <= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Trace::with_capacity(0);
+    }
+}

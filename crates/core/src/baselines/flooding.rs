@@ -1,0 +1,133 @@
+//! Flood-max: the classic `O(m·D)`-message implicit election.
+//!
+//! Every node draws a random id from `[1, n⁴]` and floods the maximum it
+//! has seen. The node whose own id survives is the leader. This is the
+//! "obvious" baseline whose `Ω(m)` cost (Kutten et al. [24]) the paper
+//! beats on well-connected graphs — Experiment E10 measures the
+//! crossover.
+
+use std::sync::Arc;
+
+use rand::RngExt;
+use welle_congest::{Context, Engine, EngineConfig, Protocol};
+use welle_graph::{Graph, Port};
+
+use super::BaselineReport;
+
+/// Flood-max node with a random id (drawn at start, paper's id range).
+#[derive(Clone, Debug)]
+pub struct FloodMaxElection {
+    id_max: u64,
+    id: u64,
+    best: u64,
+    started: bool,
+}
+
+impl FloodMaxElection {
+    /// Creates a node; ids are drawn from `[1, id_max]` at start.
+    pub fn new(id_max: u64) -> Self {
+        FloodMaxElection {
+            id_max,
+            id: 0,
+            best: 0,
+            started: false,
+        }
+    }
+
+    /// This node's drawn id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether this node still believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.started && self.best == self.id
+    }
+
+    fn flood(&self, ctx: &mut Context<'_, u64>) {
+        for p in 0..ctx.degree() {
+            ctx.send(Port::new(p), self.best);
+        }
+    }
+}
+
+impl Protocol for FloodMaxElection {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.id = ctx.rng().random_range(1..=self.id_max);
+        self.best = self.id;
+        self.started = true;
+        self.flood(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &mut Vec<(Port, u64)>) {
+        let mut improved = false;
+        for (_, id) in inbox.drain(..) {
+            if id > self.best {
+                self.best = id;
+                improved = true;
+            }
+        }
+        if improved {
+            self.flood(ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.started
+    }
+}
+
+/// Runs flood-max to quiescence and reports the surviving leader(s).
+pub fn run_flood_max(graph: &Arc<Graph>, seed: u64) -> BaselineReport {
+    let n = graph.n();
+    let id_max = (n as u128).pow(4).min(u64::MAX as u128) as u64;
+    let mut engine = Engine::from_fn(
+        Arc::clone(graph),
+        EngineConfig {
+            seed,
+            bandwidth_bits: None,
+        },
+        |_| FloodMaxElection::new(id_max),
+    );
+    let outcome = engine.run(1_000_000);
+    let leaders = engine
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_leader())
+        .map(|(i, _)| i)
+        .collect();
+    BaselineReport {
+        leaders,
+        messages: engine.metrics().messages,
+        bits: engine.metrics().bits,
+        rounds: outcome.round(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use welle_graph::gen;
+
+    #[test]
+    fn flood_max_elects_exactly_one() {
+        for seed in 0..5u64 {
+            let g = Arc::new(gen::torus2d(5, 6).unwrap());
+            let report = run_flood_max(&g, seed);
+            assert!(report.is_success(), "seed {seed}: {:?}", report.leaders);
+        }
+    }
+
+    #[test]
+    fn message_count_scales_with_m() {
+        let small = Arc::new(gen::clique(16).unwrap());
+        let large = Arc::new(gen::clique(48).unwrap());
+        let a = run_flood_max(&small, 1).messages;
+        let b = run_flood_max(&large, 1).messages;
+        // m grows 9.7x; flood-max messages should grow at least ~5x.
+        assert!(b > 5 * a, "small {a}, large {b}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The Kutten et al. \[25\] baseline: identical walk machinery, but the
+//! mixing time is *known* to all nodes, so a single phase with walk
+//! length `c3·t_mix` suffices — no guess-and-double, no `log² n`
+//! synchronization overhead. Experiment E12 compares it against the
+//! paper's algorithm to quantify the price of not knowing `t_mix`.
+
+use std::sync::Arc;
+
+use welle_graph::Graph;
+
+use crate::config::ElectionConfig;
+use crate::runner::{run_election, ElectionReport};
+
+/// Runs the known-`t_mix` single-phase election.
+///
+/// `c3 ≥ 1` is the safety factor on the known mixing time (the paper's
+/// Lemma 3 uses `t_u = c3·t_mix`).
+pub fn run_known_tmix_election(
+    graph: &Arc<Graph>,
+    base: &ElectionConfig,
+    tmix: u32,
+    c3: u32,
+    seed: u64,
+) -> ElectionReport {
+    let cfg = ElectionConfig {
+        fixed_walk_len: Some(tmix.saturating_mul(c3).max(1)),
+        ..*base
+    };
+    run_election(graph, &cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use welle_graph::gen;
+    use welle_walks::{mixing_time, MixingOptions};
+
+    #[test]
+    fn known_tmix_elects_unique_leader() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Arc::new(gen::random_regular(128, 4, &mut rng).unwrap());
+        let tmix = mixing_time(&g, MixingOptions::default()).unwrap();
+        let base = ElectionConfig::tuned_for_simulation(128);
+        for seed in [1u64, 2, 3] {
+            let report = run_known_tmix_election(&g, &base, tmix, 2, seed);
+            assert!(
+                report.is_success(),
+                "seed {seed}: leaders {:?}",
+                report.leaders
+            );
+            assert_eq!(report.epochs_used, 1, "single phase only");
+        }
+    }
+
+    #[test]
+    fn known_walk_length_single_phase_beats_guessing_to_the_same_length() {
+        // Fair comparison: give the baseline the walk length at which the
+        // guess-and-double run actually stopped. One phase at that length
+        // must beat running all the doubling phases up to it.
+        //
+        // (Note: with a *conservatively* known t_mix — e.g. 2·t_mix — the
+        // baseline can cost MORE than guessing, because guess-and-double
+        // stops as soon as the properties certify, often below t_mix;
+        // experiment E12 quantifies this.)
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = Arc::new(gen::random_regular(128, 4, &mut rng).unwrap());
+        let base = ElectionConfig::tuned_for_simulation(128);
+        let unknown = run_election(&g, &base, 5);
+        assert!(unknown.is_success());
+        let known = run_known_tmix_election(&g, &base, unknown.final_walk_len, 1, 5);
+        assert!(known.is_success());
+        assert!(
+            known.messages < unknown.messages,
+            "single phase at the stopping length must be cheaper: {} vs {}",
+            known.messages,
+            unknown.messages
+        );
+    }
+
+    #[test]
+    fn oversized_fixed_walk_len_still_works() {
+        // Overestimating t_mix costs time, not correctness.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Arc::new(gen::random_regular(128, 4, &mut rng).unwrap());
+        let base = ElectionConfig::tuned_for_simulation(128);
+        let report = run_known_tmix_election(&g, &base, 64, 2, 4);
+        assert!(report.is_success(), "leaders {:?}", report.leaders);
+    }
+}

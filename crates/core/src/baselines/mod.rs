@@ -1,0 +1,29 @@
+//! Baseline election algorithms the paper compares against.
+
+mod flooding;
+mod known_mixing;
+mod ring;
+
+pub use flooding::{run_flood_max, FloodMaxElection};
+pub use known_mixing::run_known_tmix_election;
+pub use ring::{run_hirschberg_sinclair, HsMsg, HsNode};
+
+/// Common summary for simple baselines.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Nodes believing they are the leader at quiescence.
+    pub leaders: Vec<usize>,
+    /// Total messages.
+    pub messages: u64,
+    /// Total bits.
+    pub bits: u64,
+    /// Rounds until quiescence.
+    pub rounds: u64,
+}
+
+impl BaselineReport {
+    /// Exactly one leader?
+    pub fn is_success(&self) -> bool {
+        self.leaders.len() == 1
+    }
+}

@@ -1,0 +1,48 @@
+//! The randomized implicit leader-election algorithm of *Leader Election
+//! in Well-Connected Graphs* (Gilbert, Robinson, Sourav; PODC 2018),
+//! running on the `welle-congest` simulator.
+//!
+//! The algorithm elects a unique leader w.h.p. in `O(t_mix·log² n)` rounds
+//! using `O(√n·log^{7/2} n·t_mix)` messages (Theorem 13), **without**
+//! knowing the mixing time: contenders guess-and-double their walk length
+//! until the Intersection and Distinctness properties certify that their
+//! proxy sets intersect a majority of the other contenders'.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use welle_core::{run_election, ElectionConfig, SyncMode};
+//! use welle_graph::gen;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = Arc::new(gen::random_regular(256, 4, &mut rng).unwrap());
+//! let cfg = ElectionConfig { sync: SyncMode::Adaptive, ..Default::default() };
+//! let report = run_election(&g, &cfg, 7);
+//! assert!(report.is_success());
+//! println!("leader id {:?} after {} messages", report.leader_id, report.messages);
+//! ```
+//!
+//! Besides the core algorithm the crate ships the explicit-election stage
+//! ([`broadcast`], Corollary 14) and the paper's comparison baselines
+//! ([`baselines`]): flood-max and the known-`t_mix` single-phase variant
+//! of Kutten et al. \[25\].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod msg;
+mod protocol;
+mod runner;
+mod state;
+
+pub mod baselines;
+pub mod broadcast;
+
+pub use config::{ElectionConfig, MsgSizeMode, Params, Phase, SyncMode};
+pub use msg::{ElectionMsg, FwdItem, RevItem};
+pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
+pub use runner::{run_election, run_election_observed, ElectionReport};
+pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

@@ -1,0 +1,266 @@
+//! Wire messages of the election protocol, with bit-exact size
+//! accounting (Lemma 12's message taxonomy).
+
+use welle_congest::{bits_for, Payload};
+
+/// Tag bits distinguishing message variants on the wire.
+const TAG_BITS: usize = 3;
+
+/// A message of Algorithm 2.
+///
+/// Three routing classes: [`ElectionMsg::Walk`] tokens advance the random
+/// walks; [`ElectionMsg::Rev`] units travel *backwards* along recorded
+/// trails (proxy → contender: rounds 1 and 3, winner notifications);
+/// [`ElectionMsg::Fwd`] units travel *forwards* (contender → proxies:
+/// round 2, stop commitments, winner announcements).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElectionMsg {
+    /// Aggregated walk token `⟨u, t_u⟩` with a multiplicity (Lemma 12's
+    /// "one token and the count").
+    Walk {
+        /// Originating contender id.
+        origin: u64,
+        /// Guess-and-double epoch.
+        epoch: u32,
+        /// Steps left; the receiving holder is a proxy when this is 0.
+        remaining: u32,
+        /// Number of parallel walks bundled here.
+        count: u32,
+    },
+    /// Reverse-routed unit; `step` is the walk step *at the receiver*.
+    Rev {
+        /// Walk origin whose trail is followed.
+        origin: u64,
+        /// Epoch of that trail.
+        epoch: u32,
+        /// Step index at the receiving node.
+        step: u32,
+        /// Payload.
+        item: RevItem,
+    },
+    /// Forward-routed unit; `step` is the walk step *at the receiver*.
+    Fwd {
+        /// Walk origin whose trail is followed.
+        origin: u64,
+        /// Epoch of that trail.
+        epoch: u32,
+        /// Step index at the receiving node.
+        step: u32,
+        /// Payload.
+        item: FwdItem,
+    },
+}
+
+/// Payloads travelling towards a contender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RevItem {
+    /// Round-1 header: the proxy's id and how many of the origin's walks
+    /// ended there (`count == 1` ⇔ the proxy is *distinct*).
+    ProxyInfo {
+        /// The proxy's own random id.
+        proxy_id: u64,
+        /// Multiplicity of the origin's walks at this proxy.
+        count: u32,
+    },
+    /// Round-1 set fragment: ids from the proxy's `I1` (other contenders
+    /// it serves).
+    KnownContenders {
+        /// Fragment of `I1` (one id in CONGEST mode).
+        ids: Vec<u64>,
+    },
+    /// Round-3 set fragment: ids from the proxy's `I3`.
+    R3Contenders {
+        /// Fragment of `I3`.
+        ids: Vec<u64>,
+    },
+    /// A winner notification relayed towards a contender.
+    Winner {
+        /// The leader's id.
+        id: u64,
+    },
+}
+
+/// Payloads travelling from a contender towards its proxies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FwdItem {
+    /// Round-2 set fragment: ids from the contender's `I2`.
+    I2Ids {
+        /// Fragment of `I2`.
+        ids: Vec<u64>,
+    },
+    /// The contender committed to this epoch as its final guess
+    /// (Fidelity note 5: proxies and trail nodes finalize their records).
+    StopMark,
+    /// Winner announcement flowing to proxies.
+    Winner {
+        /// The leader's id.
+        id: u64,
+    },
+}
+
+impl ElectionMsg {
+    /// A collision-resistant-enough key identifying a forward item for
+    /// the per-node "filtering and forwarding" dedup of Lemma 12.
+    pub fn fwd_dedup_key(origin: u64, item: &FwdItem) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ origin;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        match item {
+            FwdItem::I2Ids { ids } => {
+                mix(1);
+                for &id in ids {
+                    mix(id);
+                }
+            }
+            FwdItem::StopMark => mix(2),
+            FwdItem::Winner { id } => {
+                mix(3);
+                mix(*id);
+            }
+        }
+        h
+    }
+}
+
+impl RevItem {
+    fn payload_bits(&self) -> usize {
+        match self {
+            RevItem::ProxyInfo { proxy_id, count } => {
+                bits_for(*proxy_id) + bits_for(*count as u64)
+            }
+            RevItem::KnownContenders { ids } | RevItem::R3Contenders { ids } => {
+                ids.iter().map(|&id| bits_for(id)).sum()
+            }
+            RevItem::Winner { id } => bits_for(*id),
+        }
+    }
+}
+
+impl FwdItem {
+    fn payload_bits(&self) -> usize {
+        match self {
+            FwdItem::I2Ids { ids } => ids.iter().map(|&id| bits_for(id)).sum(),
+            FwdItem::StopMark => 1,
+            FwdItem::Winner { id } => bits_for(*id),
+        }
+    }
+}
+
+impl Payload for ElectionMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            ElectionMsg::Walk {
+                origin,
+                epoch,
+                remaining,
+                count,
+            } => {
+                TAG_BITS
+                    + bits_for(*origin)
+                    + bits_for(*epoch as u64 + 1)
+                    + bits_for(*remaining as u64 + 1)
+                    + bits_for(*count as u64)
+            }
+            ElectionMsg::Rev {
+                origin,
+                epoch,
+                step,
+                item,
+            } => {
+                TAG_BITS
+                    + bits_for(*origin)
+                    + bits_for(*epoch as u64 + 1)
+                    + bits_for(*step as u64 + 1)
+                    + item.payload_bits()
+            }
+            ElectionMsg::Fwd {
+                origin,
+                epoch,
+                step,
+                item,
+            } => {
+                TAG_BITS
+                    + bits_for(*origin)
+                    + bits_for(*epoch as u64 + 1)
+                    + bits_for(*step as u64 + 1)
+                    + item.payload_bits()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_token_is_logarithmic() {
+        let m = ElectionMsg::Walk {
+            origin: 1 << 39, // id from [1, 1024⁴]
+            epoch: 5,
+            remaining: 32,
+            count: 443,
+        };
+        // 3 + 40 + 3 + 6 + 9 = 61 bits: O(log n) for n = 1024.
+        assert_eq!(m.bit_size(), 3 + 40 + 3 + 6 + 9);
+    }
+
+    #[test]
+    fn congest_fragments_fit_small_budget() {
+        let m = ElectionMsg::Rev {
+            origin: u64::MAX,
+            epoch: 30,
+            step: 1 << 20,
+            item: RevItem::KnownContenders { ids: vec![u64::MAX] },
+        };
+        // Even with worst-case ids: 3 + 64 + 5 + 21 + 64 = 157 bits.
+        assert!(m.bit_size() <= 4 * 64 + 96);
+    }
+
+    #[test]
+    fn large_sets_scale_with_content() {
+        let small = ElectionMsg::Fwd {
+            origin: 7,
+            epoch: 0,
+            step: 0,
+            item: FwdItem::I2Ids { ids: vec![1] },
+        };
+        let big = ElectionMsg::Fwd {
+            origin: 7,
+            epoch: 0,
+            step: 0,
+            item: FwdItem::I2Ids {
+                ids: vec![u64::MAX; 20],
+            },
+        };
+        assert!(big.bit_size() > small.bit_size() + 19 * 32);
+    }
+
+    #[test]
+    fn dedup_keys_separate_items() {
+        let a = ElectionMsg::fwd_dedup_key(1, &FwdItem::StopMark);
+        let b = ElectionMsg::fwd_dedup_key(2, &FwdItem::StopMark);
+        let c = ElectionMsg::fwd_dedup_key(1, &FwdItem::Winner { id: 9 });
+        let d = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: vec![9] });
+        let e = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: vec![10] });
+        let all = [a, b, c, d, e];
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn stopmark_is_tiny() {
+        let m = ElectionMsg::Fwd {
+            origin: 5,
+            epoch: 1,
+            step: 2,
+            item: FwdItem::StopMark,
+        };
+        assert!(m.bit_size() < 20);
+    }
+}

@@ -1,0 +1,683 @@
+//! The node protocol implementing Algorithms 1 and 2 of the paper.
+//!
+//! Life of an epoch `e` (walk length `t_u = 2^e`, segment budget `T_e`):
+//!
+//! 1. **Walk** — active contenders launch `c2·√n·ln n` aggregated walk
+//!    tokens; every node forwards token batches one lazy step per round,
+//!    recording breadcrumb trails. Tokens with `remaining = 0` register
+//!    proxy records.
+//! 2. **R1** — proxies send each current-epoch origin its id, walk count
+//!    (the distinctness bit `d`), the set `I1` of other contenders they
+//!    serve, and any known winner — reverse-routed along the trails.
+//! 3. **R2** — contenders broadcast `I2` (union of received `I1`s) forward
+//!    to their proxies.
+//! 4. **R3** — proxies reverse-route `I3` (union of received `I2`s) to
+//!    their current-epoch contenders.
+//! 5. **Decide + wait (2T)** — contenders check the Intersection and
+//!    Distinctness properties; on success they stop, commit their trails
+//!    with a `StopMark` wave, and — if they hold the largest id in `I4`
+//!    and have heard no winner — declare leadership and flood a winner
+//!    wave (proxies relay it to all their contenders).
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use rand::RngExt;
+use welle_congest::{Context, Protocol, Signal};
+use welle_graph::Port;
+use welle_walks::{split_lazy, Hop, ReverseRoute, TrailStore};
+
+use crate::config::{Params, Phase, SyncMode};
+use crate::msg::{ElectionMsg, FwdItem, RevItem};
+use crate::state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};
+
+/// The signal value the adaptive driver broadcasts to advance one segment.
+pub const SIGNAL_ADVANCE: Signal = 1;
+
+/// One anonymous node running the election (Algorithm 1 + 2).
+#[derive(Debug)]
+pub struct ElectionNode {
+    params: Arc<Params>,
+    id: u64,
+    contender: Option<ContenderState>,
+    decided: Option<Decision>,
+    decided_round: Option<u64>,
+    trails: TrailStore,
+    proxies: BTreeMap<u64, ProxyRecord>,
+    /// Lazy-step holdovers: `(origin, epoch, remaining, count)` to process
+    /// next round.
+    pending_stays: Vec<(u64, u32, u32, u32)>,
+    /// Union of `I2` fragments received this epoch while acting as proxy.
+    i3_acc: std::collections::BTreeSet<u64>,
+    /// Per-epoch forward dedup ("filtering and forwarding").
+    fwd_seen: HashSet<u64>,
+    winner_heard: Option<u64>,
+    winner_relayed_as_proxy: bool,
+    /// Next unfired global segment index.
+    seg_idx: u64,
+    cur_epoch: u32,
+    stats: NodeStats,
+}
+
+impl ElectionNode {
+    /// Creates a node sharing the derived parameters.
+    pub fn new(params: Arc<Params>) -> Self {
+        ElectionNode {
+            params,
+            id: 0,
+            contender: None,
+            decided: None,
+            decided_round: None,
+            trails: TrailStore::new(),
+            proxies: BTreeMap::new(),
+            pending_stays: Vec::new(),
+            i3_acc: std::collections::BTreeSet::new(),
+            fwd_seen: HashSet::new(),
+            winner_heard: None,
+            winner_relayed_as_proxy: false,
+            seg_idx: 0,
+            cur_epoch: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's random id in `[1, n⁴]` (drawn at start).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the node designated itself contender.
+    pub fn is_contender(&self) -> bool {
+        self.contender.is_some()
+    }
+
+    /// The contender-side state, if any.
+    pub fn contender_state(&self) -> Option<&ContenderState> {
+        self.contender.as_ref()
+    }
+
+    /// The node's final decision, once made.
+    pub fn decision(&self) -> Option<Decision> {
+        self.decided
+    }
+
+    /// Round at which the decision was made.
+    pub fn decided_round(&self) -> Option<u64> {
+        self.decided_round
+    }
+
+    /// Winner id this node has heard of, if any.
+    pub fn winner_heard(&self) -> Option<u64> {
+        self.winner_heard
+    }
+
+    /// Diagnostic counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Segment machinery
+    // ------------------------------------------------------------------
+
+    fn fire_due_segments(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        if self.params.cfg.sync != SyncMode::FixedT {
+            return;
+        }
+        while self.seg_idx < self.params.total_segments()
+            && self.params.segment_boundary(self.seg_idx) <= ctx.round()
+        {
+            let seg = self.seg_idx;
+            self.seg_idx += 1;
+            self.fire_segment(ctx, seg);
+        }
+    }
+
+    fn schedule_next_wake(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        if self.params.cfg.sync != SyncMode::FixedT {
+            return;
+        }
+        if self.seg_idx >= self.params.total_segments() {
+            return;
+        }
+        if self.has_segment_role() {
+            let next = self.params.segment_boundary(self.seg_idx);
+            ctx.wake_at(next);
+        }
+    }
+
+    /// Does this node need to act at upcoming segment boundaries?
+    fn has_segment_role(&self) -> bool {
+        if let Some(c) = &self.contender {
+            if c.active {
+                return true;
+            }
+        }
+        self.proxies
+            .values()
+            .any(|r| r.epoch == self.cur_epoch && !r.finalized)
+    }
+
+    fn fire_segment(&mut self, ctx: &mut Context<'_, ElectionMsg>, seg: u64) {
+        let epoch = (seg / 5) as u32;
+        self.cur_epoch = epoch;
+        match Phase::of_segment(seg) {
+            Phase::Walk => self.begin_epoch(ctx, epoch),
+            Phase::R1 => self.emit_r1(ctx, epoch),
+            Phase::R2 => self.emit_r2(ctx, epoch),
+            Phase::R3 => self.emit_r3(ctx, epoch),
+            Phase::Wait => self.decide(ctx, epoch),
+        }
+    }
+
+    fn begin_epoch(&mut self, ctx: &mut Context<'_, ElectionMsg>, epoch: u32) {
+        // GC: tentative records of older epochs can never be used again.
+        self.trails.gc(epoch);
+        self.proxies
+            .retain(|_, r| r.finalized || r.epoch >= epoch);
+        self.i3_acc.clear();
+        self.fwd_seen.clear();
+
+        let launch = match &mut self.contender {
+            Some(c) if c.active => {
+                c.begin_epoch();
+                true
+            }
+            _ => false,
+        };
+        if launch {
+            let len = self.params.walk_len(epoch);
+            let count = self.params.walks_per_contender;
+            self.handle_walk_tokens(ctx, self.id, epoch, len, count, Hop::Origin);
+        }
+    }
+
+    fn emit_r1(&mut self, ctx: &mut Context<'_, ElectionMsg>, epoch: u32) {
+        // Proxies answer the *current-epoch* contenders (stopped
+        // contenders no longer evaluate properties, so no reply needed;
+        // their ids still flow inside I1).
+        let emissions: Vec<(u64, u32, u32)> = self
+            .proxies
+            .iter()
+            .filter(|(_, r)| r.epoch == epoch && !r.finalized)
+            .map(|(&o, r)| (o, r.walk_len, r.count))
+            .collect();
+        for (origin, walk_len, count) in emissions {
+            self.send_reverse(
+                ctx,
+                origin,
+                epoch,
+                walk_len,
+                RevItem::ProxyInfo {
+                    proxy_id: self.id,
+                    count,
+                },
+            );
+            let i1: Vec<u64> = self
+                .proxies
+                .iter()
+                .filter(|(&o2, r2)| o2 != origin && r2.valid_at(epoch))
+                .map(|(&o2, _)| o2)
+                .collect();
+            for chunk in i1.chunks(self.params.frag) {
+                self.send_reverse(
+                    ctx,
+                    origin,
+                    epoch,
+                    walk_len,
+                    RevItem::KnownContenders {
+                        ids: chunk.to_vec(),
+                    },
+                );
+            }
+            if let Some(w) = self.winner_heard {
+                self.send_reverse(ctx, origin, epoch, walk_len, RevItem::Winner { id: w });
+            }
+        }
+    }
+
+    fn emit_r2(&mut self, ctx: &mut Context<'_, ElectionMsg>, epoch: u32) {
+        let ids: Vec<u64> = match &self.contender {
+            Some(c) if c.active => {
+                // I2 plus our own id: strictly more information than the
+                // paper's I2 (our id reaches I3/I4 anyway through shared
+                // proxies whenever it matters); can only reduce the
+                // multi-leader risk, never the at-least-one guarantee.
+                let mut v: Vec<u64> = c.i2.iter().copied().collect();
+                v.push(self.id);
+                v
+            }
+            _ => return,
+        };
+        for chunk in ids.chunks(self.params.frag) {
+            self.process_forward(
+                ctx,
+                self.id,
+                epoch,
+                FwdItem::I2Ids {
+                    ids: chunk.to_vec(),
+                },
+            );
+        }
+    }
+
+    fn emit_r3(&mut self, ctx: &mut Context<'_, ElectionMsg>, epoch: u32) {
+        if self.i3_acc.is_empty() {
+            return;
+        }
+        let emissions: Vec<(u64, u32)> = self
+            .proxies
+            .iter()
+            .filter(|(_, r)| r.epoch == epoch && !r.finalized)
+            .map(|(&o, r)| (o, r.walk_len))
+            .collect();
+        if emissions.is_empty() {
+            return;
+        }
+        let i3: Vec<u64> = self.i3_acc.iter().copied().collect();
+        for (origin, walk_len) in emissions {
+            for chunk in i3.chunks(self.params.frag) {
+                self.send_reverse(
+                    ctx,
+                    origin,
+                    epoch,
+                    walk_len,
+                    RevItem::R3Contenders {
+                        ids: chunk.to_vec(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Context<'_, ElectionMsg>, epoch: u32) {
+        let Some(c) = &mut self.contender else {
+            return;
+        };
+        if !c.active {
+            return;
+        }
+        let distinct = c.distinct_proxies();
+        let inter = c.i2.len();
+        let satisfied =
+            inter >= self.params.tau_intersection && distinct >= self.params.tau_distinct;
+        // The known-t_mix baseline stops unconditionally after its single
+        // phase (Kutten et al. [25] assume the guarantee holds).
+        let baseline_stop = self.params.cfg.fixed_walk_len.is_some();
+        let last_epoch = epoch + 1 >= self.params.max_epochs;
+        c.history.push(EpochRecord {
+            epoch,
+            walk_len: self.params.walk_len(epoch),
+            proxy_replies: c.proxy_counts.len(),
+            distinct_proxies: distinct,
+            i2_len: inter,
+            satisfied,
+        });
+
+        if satisfied || baseline_stop || last_epoch {
+            c.active = false;
+            c.stopped_epoch = Some(epoch);
+            c.gave_up = !(satisfied || baseline_stop);
+            // Winning condition: largest id in I4 (∪ I2 ∪ {self}) and no
+            // winner heard.
+            let max_known = c
+                .i4_extra
+                .iter()
+                .chain(c.i2.iter())
+                .copied()
+                .chain(std::iter::once(self.id))
+                .max()
+                .unwrap_or(self.id);
+            let wins =
+                !c.gave_up && self.winner_heard.is_none() && max_known == self.id;
+            self.decided = Some(if wins {
+                Decision::Leader
+            } else {
+                Decision::NonLeader
+            });
+            self.decided_round = Some(ctx.round());
+            // Commit: proxies and trail nodes keep serving this epoch's
+            // records (Fidelity note 5).
+            self.process_forward(ctx, self.id, epoch, FwdItem::StopMark);
+            if wins {
+                self.winner_heard = Some(self.id);
+                self.process_forward(ctx, self.id, epoch, FwdItem::Winner { id: self.id });
+            }
+        }
+        // Otherwise stay active; the next Walk segment doubles the guess.
+    }
+
+    // ------------------------------------------------------------------
+    // Walk forwarding
+    // ------------------------------------------------------------------
+
+    fn handle_walk_tokens(
+        &mut self,
+        ctx: &mut Context<'_, ElectionMsg>,
+        origin: u64,
+        epoch: u32,
+        remaining: u32,
+        count: u32,
+        via: Hop,
+    ) {
+        let walk_len = self.params.walk_len(epoch);
+        let step = walk_len.saturating_sub(remaining);
+        let Some(trail) = self.trails.enter_epoch(origin, epoch, walk_len) else {
+            self.stats.dropped_tokens += count as u64;
+            return;
+        };
+        trail.record_in(step, via);
+        if remaining == 0 {
+            let rec = self.proxies.entry(origin).or_insert(ProxyRecord {
+                epoch,
+                walk_len,
+                count: 0,
+                finalized: false,
+            });
+            if rec.epoch != epoch {
+                if rec.finalized {
+                    // A stopped contender cannot generate new walks.
+                    self.stats.dropped_tokens += count as u64;
+                    return;
+                }
+                *rec = ProxyRecord {
+                    epoch,
+                    walk_len,
+                    count: 0,
+                    finalized: false,
+                };
+            }
+            rec.count += count;
+            return;
+        }
+        let split = split_lazy(count, ctx.degree(), ctx.rng());
+        if split.stay > 0 {
+            self.trails
+                .enter_epoch(origin, epoch, walk_len)
+                .expect("trail just created")
+                .record_out(step, Hop::Stay);
+            self.pending_stays
+                .push((origin, epoch, remaining - 1, split.stay));
+            let next = ctx.round() + 1;
+            ctx.wake_at(next);
+        }
+        for (port, cnt) in split.moves {
+            self.trails
+                .enter_epoch(origin, epoch, walk_len)
+                .expect("trail just created")
+                .record_out(step, Hop::Via(port));
+            ctx.send(
+                port,
+                ElectionMsg::Walk {
+                    origin,
+                    epoch,
+                    remaining: remaining - 1,
+                    count: cnt,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reverse routing (proxy → contender)
+    // ------------------------------------------------------------------
+
+    fn send_reverse(
+        &mut self,
+        ctx: &mut Context<'_, ElectionMsg>,
+        origin: u64,
+        epoch: u32,
+        step: u32,
+        item: RevItem,
+    ) {
+        let route = match self.trails.at_epoch(origin, epoch) {
+            Some(trail) => trail.reverse_route(step),
+            None => ReverseRoute::Broken,
+        };
+        match route {
+            ReverseRoute::AtOrigin => {
+                if self.id == origin {
+                    self.deliver_to_contender(ctx, epoch, item);
+                } else {
+                    self.stats.broken_routes += 1;
+                }
+            }
+            ReverseRoute::Forward(port, next_step) => {
+                ctx.send(
+                    port,
+                    ElectionMsg::Rev {
+                        origin,
+                        epoch,
+                        step: next_step,
+                        item,
+                    },
+                );
+            }
+            ReverseRoute::Broken => self.stats.broken_routes += 1,
+        }
+    }
+
+    fn deliver_to_contender(
+        &mut self,
+        ctx: &mut Context<'_, ElectionMsg>,
+        epoch: u32,
+        item: RevItem,
+    ) {
+        match item {
+            RevItem::ProxyInfo { proxy_id, count } => {
+                if let Some(c) = &mut self.contender {
+                    if c.active && epoch == self.cur_epoch {
+                        c.proxy_counts.insert(proxy_id, count);
+                    }
+                }
+            }
+            RevItem::KnownContenders { ids } => {
+                if let Some(c) = &mut self.contender {
+                    if c.active && epoch == self.cur_epoch {
+                        c.i2.extend(ids);
+                    }
+                }
+            }
+            RevItem::R3Contenders { ids } => {
+                if let Some(c) = &mut self.contender {
+                    if c.active && epoch == self.cur_epoch {
+                        c.i4_extra.extend(ids);
+                    }
+                }
+            }
+            RevItem::Winner { id } => self.hear_winner_as_contender(ctx, id),
+        }
+    }
+
+    /// Rule 7: the first time a contender hears of a winner, it forwards
+    /// the message to all its proxies (and never elects itself).
+    fn hear_winner_as_contender(&mut self, ctx: &mut Context<'_, ElectionMsg>, winner: u64) {
+        if self.winner_heard.is_some() {
+            return;
+        }
+        self.winner_heard = Some(winner);
+        if self.contender.is_some() {
+            if let Some(trail) = self.trails.current(self.id) {
+                let epoch = trail.epoch();
+                self.process_forward(ctx, self.id, epoch, FwdItem::Winner { id: winner });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward routing (contender → proxies)
+    // ------------------------------------------------------------------
+
+    fn process_forward(
+        &mut self,
+        ctx: &mut Context<'_, ElectionMsg>,
+        origin: u64,
+        epoch: u32,
+        item: FwdItem,
+    ) {
+        let key = ElectionMsg::fwd_dedup_key(origin, &item);
+        if !self.fwd_seen.insert(key) {
+            return;
+        }
+        let Some(trail) = self.trails.at_epoch(origin, epoch) else {
+            self.stats.broken_routes += 1;
+            return;
+        };
+        let ports = trail.distinct_out_ports();
+        let is_proxy = self
+            .proxies
+            .get(&origin)
+            .is_some_and(|r| r.epoch == epoch);
+        for port in ports {
+            ctx.send(
+                port,
+                ElectionMsg::Fwd {
+                    origin,
+                    epoch,
+                    step: 0,
+                    item: item.clone(),
+                },
+            );
+        }
+        match item {
+            FwdItem::StopMark => {
+                self.trails.finalize(origin, epoch);
+                if let Some(rec) = self.proxies.get_mut(&origin) {
+                    if rec.epoch == epoch {
+                        rec.finalized = true;
+                    }
+                }
+            }
+            FwdItem::I2Ids { ids } => {
+                if is_proxy {
+                    self.i3_acc.extend(ids);
+                }
+            }
+            FwdItem::Winner { id } => {
+                if is_proxy {
+                    self.hear_winner_as_proxy(ctx, id);
+                }
+            }
+        }
+    }
+
+    /// Rule 6: the first time a proxy receives a winner message, it sends
+    /// it to all its contenders.
+    fn hear_winner_as_proxy(&mut self, ctx: &mut Context<'_, ElectionMsg>, winner: u64) {
+        if self.winner_heard.is_none() {
+            self.winner_heard = Some(winner);
+        }
+        if self.winner_relayed_as_proxy {
+            return;
+        }
+        self.winner_relayed_as_proxy = true;
+        let targets: Vec<(u64, u32, u32)> = self
+            .proxies
+            .iter()
+            .filter(|(_, r)| r.valid_at(self.cur_epoch))
+            .map(|(&o, r)| (o, r.epoch, r.walk_len))
+            .collect();
+        for (origin, epoch, walk_len) in targets {
+            if origin == self.id {
+                continue;
+            }
+            self.send_reverse(ctx, origin, epoch, walk_len, RevItem::Winner { id: winner });
+        }
+    }
+
+    fn handle_message(
+        &mut self,
+        ctx: &mut Context<'_, ElectionMsg>,
+        port: Port,
+        msg: ElectionMsg,
+    ) {
+        match msg {
+            ElectionMsg::Walk {
+                origin,
+                epoch,
+                remaining,
+                count,
+            } => self.handle_walk_tokens(ctx, origin, epoch, remaining, count, Hop::Via(port)),
+            ElectionMsg::Rev {
+                origin,
+                epoch,
+                step,
+                item,
+            } => self.send_reverse(ctx, origin, epoch, step, item),
+            ElectionMsg::Fwd {
+                origin,
+                epoch,
+                item,
+                ..
+            } => self.process_forward(ctx, origin, epoch, item),
+        }
+    }
+}
+
+impl Protocol for ElectionNode {
+    type Msg = ElectionMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        // Algorithm 1: random id in [1, n⁴]; contender with prob c1·ln n/n.
+        self.id = ctx.rng().random_range(1..=self.params.id_max);
+        let is_contender = ctx.rng().random_bool(self.params.contender_prob);
+        if is_contender {
+            self.contender = Some(ContenderState::new());
+        } else {
+            // Non-contenders declare non-leader immediately (line 4).
+            self.decided = Some(Decision::NonLeader);
+            self.decided_round = Some(0);
+        }
+        // Epoch 0 begins now, in both sync modes.
+        self.seg_idx = 1;
+        self.fire_segment(ctx, 0);
+        self.schedule_next_wake(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, ElectionMsg>, inbox: &mut Vec<(Port, ElectionMsg)>) {
+        // Lazy-step holdovers from last round first.
+        let stays = std::mem::take(&mut self.pending_stays);
+        for (origin, epoch, remaining, count) in stays {
+            self.handle_walk_tokens(ctx, origin, epoch, remaining, count, Hop::Stay);
+        }
+        for (port, msg) in inbox.drain(..) {
+            self.handle_message(ctx, port, msg);
+        }
+        self.fire_due_segments(ctx);
+        self.schedule_next_wake(ctx);
+    }
+
+    fn on_signal(&mut self, ctx: &mut Context<'_, ElectionMsg>, signal: Signal) {
+        if signal == SIGNAL_ADVANCE
+            && self.params.cfg.sync == SyncMode::Adaptive
+            && self.seg_idx < self.params.total_segments()
+        {
+            let seg = self.seg_idx;
+            self.seg_idx += 1;
+            self.fire_segment(ctx, seg);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ElectionConfig;
+
+    #[test]
+    fn node_construction_defaults() {
+        let params = Arc::new(Params::derive(64, ElectionConfig::default()));
+        let node = ElectionNode::new(params);
+        assert_eq!(node.id(), 0);
+        assert!(!node.is_contender());
+        assert!(node.decision().is_none());
+        assert_eq!(node.stats(), NodeStats::default());
+    }
+
+    // Full protocol behaviour is exercised through the runner tests in
+    // `runner.rs` and the integration tests at the workspace root.
+}

@@ -1,0 +1,273 @@
+//! High-level drivers: build an engine, run the election, summarize.
+
+use std::sync::Arc;
+
+use welle_congest::{
+    Engine, EngineConfig, NoopObserver, RunOutcome, TransmitObserver,
+};
+use welle_graph::Graph;
+
+use crate::config::{ElectionConfig, Params, SyncMode};
+use crate::protocol::{ElectionNode, SIGNAL_ADVANCE};
+use crate::state::Decision;
+
+/// Summary of one election run (one graph, one seed).
+#[derive(Clone, Debug)]
+pub struct ElectionReport {
+    /// Nodes in the network.
+    pub n: usize,
+    /// Edges in the network.
+    pub m: usize,
+    /// How many nodes designated themselves contenders (Lemma 1 predicts
+    /// `[¾·c1·ln n, 5/4·c1·ln n]` w.h.p.).
+    pub contenders: usize,
+    /// Simulator indices of nodes that declared leadership (the paper's
+    /// guarantee: exactly one, w.h.p.).
+    pub leaders: Vec<usize>,
+    /// The elected leader's random id, when unique.
+    pub leader_id: Option<u64>,
+    /// Total CONGEST messages transmitted (the paper's message measure).
+    pub messages: u64,
+    /// Total bits transmitted.
+    pub bits: u64,
+    /// Round by which every contender had decided — the election time
+    /// (Theorem 13's `O(t_mix log² n)` in `FixedT` mode).
+    pub decided_round: u64,
+    /// Rounds simulated in total, including the final drain.
+    pub engine_rounds: u64,
+    /// Largest final walk-length guess `t_u` among contenders (Lemma 3
+    /// predicts `O(t_mix)`).
+    pub final_walk_len: u32,
+    /// Number of epochs the slowest contender used.
+    pub epochs_used: u32,
+    /// Contenders that hit the walk-length cap unsatisfied (tail events).
+    pub gave_up: usize,
+    /// Diagnostic: walk tokens dropped on stale trails.
+    pub dropped_tokens: u64,
+    /// Diagnostic: routing lookups that found no trail.
+    pub broken_routes: u64,
+    /// Why the engine stopped.
+    pub outcome: RunOutcome,
+}
+
+impl ElectionReport {
+    /// The headline correctness criterion: exactly one leader.
+    pub fn is_success(&self) -> bool {
+        self.leaders.len() == 1
+    }
+}
+
+/// Runs implicit leader election on `graph` with a fixed seed.
+///
+/// See [`ElectionConfig`] for the knobs; the default is the faithful
+/// CONGEST / fixed-`T` configuration of the paper.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use welle_core::{run_election, ElectionConfig};
+/// use welle_graph::gen;
+///
+/// let g = Arc::new(gen::hypercube(6).unwrap());
+/// let report = run_election(&g, &ElectionConfig::default(), 7);
+/// assert!(report.is_success());
+/// ```
+pub fn run_election(graph: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
+    run_election_observed(graph, cfg, seed, &mut NoopObserver)
+}
+
+/// Like [`run_election`], reporting every transmission to `obs` (used by
+/// the lower-bound experiments to classify traffic).
+pub fn run_election_observed(
+    graph: &Arc<Graph>,
+    cfg: &ElectionConfig,
+    seed: u64,
+    obs: &mut dyn TransmitObserver,
+) -> ElectionReport {
+    let params = Arc::new(Params::derive(graph.n(), *cfg));
+    let engine_cfg = EngineConfig {
+        seed,
+        bandwidth_bits: params.bandwidth_bits,
+    };
+    let mut engine = Engine::from_fn(Arc::clone(graph), engine_cfg, |_| {
+        ElectionNode::new(Arc::clone(&params))
+    });
+
+    let outcome = match cfg.sync {
+        SyncMode::FixedT => engine.run_observed(params.round_limit(), obs),
+        SyncMode::Adaptive => {
+            let mut signals = 0u64;
+            loop {
+                let out = engine.run_observed(u64::MAX / 4, obs);
+                match out {
+                    RunOutcome::Quiescent { .. } if signals < params.total_segments() => {
+                        engine.signal(SIGNAL_ADVANCE);
+                        signals += 1;
+                    }
+                    other => break other,
+                }
+            }
+        }
+    };
+
+    summarize(&engine, outcome)
+}
+
+fn summarize(engine: &Engine<ElectionNode>, outcome: RunOutcome) -> ElectionReport {
+    let graph = engine.graph();
+    let mut contenders = 0usize;
+    let mut leaders = Vec::new();
+    let mut leader_id = None;
+    let mut decided_round = 0u64;
+    let mut final_walk_len = 0u32;
+    let mut epochs_used = 0u32;
+    let mut gave_up = 0usize;
+    let mut dropped_tokens = 0u64;
+    let mut broken_routes = 0u64;
+
+    for (i, node) in engine.nodes().iter().enumerate() {
+        let stats = node.stats();
+        dropped_tokens += stats.dropped_tokens;
+        broken_routes += stats.broken_routes;
+        let Some(c) = node.contender_state() else {
+            continue;
+        };
+        contenders += 1;
+        if node.decision() == Some(Decision::Leader) {
+            leaders.push(i);
+            leader_id = Some(node.id());
+        }
+        if let Some(r) = node.decided_round() {
+            decided_round = decided_round.max(r);
+        }
+        if let Some(e) = c.stopped_epoch {
+            epochs_used = epochs_used.max(e + 1);
+            final_walk_len = final_walk_len.max(
+                c.history
+                    .iter()
+                    .find(|h| h.epoch == e)
+                    .map(|h| h.walk_len)
+                    .unwrap_or(0),
+            );
+        }
+        if c.gave_up {
+            gave_up += 1;
+        }
+    }
+    if leaders.len() != 1 {
+        leader_id = None;
+    }
+
+    ElectionReport {
+        n: graph.n(),
+        m: graph.m(),
+        contenders,
+        leaders,
+        leader_id,
+        messages: engine.metrics().messages,
+        bits: engine.metrics().bits,
+        decided_round,
+        engine_rounds: engine.round(),
+        final_walk_len,
+        epochs_used,
+        gave_up,
+        dropped_tokens,
+        broken_routes,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MsgSizeMode;
+    use welle_graph::gen;
+
+    fn expander(n: usize, seed: u64) -> Arc<Graph> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
+    }
+
+    #[test]
+    fn elects_unique_leader_on_expander_adaptive() {
+        let g = expander(128, 1);
+        let cfg = ElectionConfig::tuned_for_simulation(128);
+        for seed in [2u64, 3, 4] {
+            let report = run_election(&g, &cfg, seed);
+            assert!(
+                report.is_success(),
+                "seed {seed}: leaders = {:?}, contenders = {}, gave_up = {}",
+                report.leaders,
+                report.contenders,
+                report.gave_up
+            );
+            assert_eq!(report.broken_routes, 0, "routing must never break");
+            assert!(report.contenders > 0);
+        }
+    }
+
+    #[test]
+    fn elects_unique_leader_fixed_t() {
+        let g = expander(128, 5);
+        let cfg = ElectionConfig {
+            sync: SyncMode::FixedT,
+            ..ElectionConfig::tuned_for_simulation(128)
+        };
+        let report = run_election(&g, &cfg, 11);
+        assert!(
+            report.is_success(),
+            "leaders = {:?}, gave_up = {}",
+            report.leaders,
+            report.gave_up
+        );
+        assert!(report.decided_round > 0);
+        assert!(report.engine_rounds >= report.decided_round);
+    }
+
+    #[test]
+    fn clique_elects_quickly() {
+        let g = Arc::new(gen::clique(128).unwrap());
+        let cfg = ElectionConfig::tuned_for_simulation(128);
+        let report = run_election(&g, &cfg, 3);
+        assert!(report.is_success(), "leaders = {:?}", report.leaders);
+        // Cliques mix in O(1): the final guess must stay small.
+        assert!(
+            report.final_walk_len <= 16,
+            "final walk len {} too large for a clique",
+            report.final_walk_len
+        );
+    }
+
+    #[test]
+    fn large_messages_reduce_message_count() {
+        let g = expander(128, 9);
+        let base = ElectionConfig::tuned_for_simulation(128);
+        let congest = run_election(&g, &base, 17);
+        let large = run_election(
+            &g,
+            &ElectionConfig {
+                msg_size: MsgSizeMode::Large,
+                ..base
+            },
+            17,
+        );
+        assert!(congest.is_success() && large.is_success());
+        assert!(
+            large.messages < congest.messages,
+            "large-message mode should save messages: {} vs {}",
+            large.messages,
+            congest.messages
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = expander(128, 2);
+        let cfg = ElectionConfig::tuned_for_simulation(128);
+        let a = run_election(&g, &cfg, 42);
+        let b = run_election(&g, &cfg, 42);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.leaders, b.leaders);
+        assert_eq!(a.decided_round, b.decided_round);
+    }
+}

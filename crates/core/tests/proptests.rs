@@ -1,0 +1,108 @@
+//! Property-based tests of the election: safety (never two leaders) on
+//! random connected graphs, parameter-derivation invariants, and message
+//! size budgets.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use welle_congest::Payload;
+use welle_core::{
+    run_election, ElectionConfig, ElectionMsg, FwdItem, MsgSizeMode, Params, RevItem,
+};
+use welle_graph::GraphBuilder;
+
+fn random_connected(n: usize, extra: usize, seed: u64) -> Arc<welle_graph::Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for child in 1..n {
+        let parent = rand::RngExt::random_range(&mut rng, 0..child);
+        b.add_edge(parent, child).unwrap();
+    }
+    for _ in 0..extra {
+        let u = rand::RngExt::random_range(&mut rng, 0..n);
+        let v = rand::RngExt::random_range(&mut rng, 0..n);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v).unwrap();
+        }
+    }
+    Arc::new(b.build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn never_more_than_one_leader(n in 24usize..56, extra in 8usize..64, seed in any::<u64>()) {
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64); // keep give-ups cheap on bad graphs
+        let r = run_election(&g, &cfg, seed ^ 0xABCD);
+        prop_assert!(r.leaders.len() <= 1, "leaders: {:?}", r.leaders);
+        prop_assert_eq!(r.broken_routes, 0, "routing must never break");
+        prop_assert_eq!(r.dropped_tokens, 0, "no stale tokens in sync runs");
+    }
+
+    #[test]
+    fn params_invariants(n in 2usize..5_000, c1 in 0.5f64..8.0, c2 in 0.25f64..4.0) {
+        let cfg = ElectionConfig { c1, c2, ..ElectionConfig::default() };
+        let p = Params::derive(n, cfg);
+        prop_assert!(p.contender_prob <= 1.0);
+        prop_assert!(p.tau_intersection >= 1);
+        prop_assert!(p.tau_distinct >= 1);
+        prop_assert!(p.walks_per_contender >= 1);
+        prop_assert!((p.walks_per_contender as f64) <= 0.45 * n as f64 + 1.0);
+        prop_assert_eq!(p.tau_distinct, (p.walks_per_contender as usize).div_ceil(2));
+        // Boundaries monotone.
+        let mut prev = 0;
+        for seg in 0..=p.total_segments() {
+            let b = p.segment_boundary(seg);
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn congest_messages_fit_the_bandwidth_cap(n in 8usize..4_000, id in 1u64..u64::MAX, epoch in 0u32..30, step in 0u32..1_000_000) {
+        let p = Params::derive(n, ElectionConfig::default());
+        let cap = p.bandwidth_bits.unwrap();
+        let id = id % p.id_max + 1;
+        let msgs = [
+            ElectionMsg::Walk { origin: id, epoch, remaining: step, count: p.walks_per_contender },
+            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::ProxyInfo { proxy_id: id, count: 1_000 } },
+            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::KnownContenders { ids: vec![p.id_max] } },
+            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::Winner { id: p.id_max } },
+            ElectionMsg::Fwd { origin: id, epoch, step, item: FwdItem::I2Ids { ids: vec![p.id_max] } },
+            ElectionMsg::Fwd { origin: id, epoch, step, item: FwdItem::StopMark },
+        ];
+        for m in msgs {
+            prop_assert!(m.bit_size() <= cap, "{m:?}: {} > {cap}", m.bit_size());
+        }
+    }
+
+    #[test]
+    fn large_mode_caps_fit_full_sets(n in 8usize..2_000) {
+        let cfg = ElectionConfig { msg_size: MsgSizeMode::Large, ..ElectionConfig::default() };
+        let p = Params::derive(n, cfg);
+        let cap = p.bandwidth_bits.unwrap();
+        let ids = vec![p.id_max; p.frag];
+        let m = ElectionMsg::Rev {
+            origin: p.id_max,
+            epoch: 30,
+            step: 1 << 20,
+            item: RevItem::KnownContenders { ids },
+        };
+        prop_assert!(m.bit_size() <= cap, "{} > {cap}", m.bit_size());
+    }
+
+    #[test]
+    fn deterministic_reports(seed in any::<u64>()) {
+        let g = random_connected(32, 32, 99);
+        let mut cfg = ElectionConfig::tuned_for_simulation(32);
+        cfg.max_walk_len = Some(64);
+        let a = run_election(&g, &cfg, seed);
+        let b = run_election(&g, &cfg, seed);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.leaders, b.leaders);
+    }
+}

@@ -1,0 +1,251 @@
+//! Cut conductance (§2): `φ_K = |E_K| / min(Vol(U), Vol(V∖U))` and the
+//! exact graph conductance `φ(G) = min_K φ_K` for small graphs.
+
+use crate::graph::Graph;
+
+/// Largest `n` accepted by [`conductance_exact`] (the search enumerates
+/// `2^{n-1}` cuts).
+pub const MAX_EXACT_CONDUCTANCE_N: usize = 22;
+
+/// Volume `Vol(U) = Σ_{v∈U} deg(v)` of the side marked `true`.
+pub fn volume(g: &Graph, side: &[bool]) -> usize {
+    debug_assert_eq!(side.len(), g.n());
+    g.nodes()
+        .filter(|u| side[u.index()])
+        .map(|u| g.degree(u))
+        .sum()
+}
+
+/// Number of edges crossing the cut.
+pub fn cut_edge_count(g: &Graph, side: &[bool]) -> usize {
+    debug_assert_eq!(side.len(), g.n());
+    g.edges()
+        .filter(|&(_, u, v)| side[u.index()] != side[v.index()])
+        .count()
+}
+
+/// Cut conductance `φ_K = |E_K| / min(Vol(U), Vol(V∖U))`.
+///
+/// Returns `None` when either side has zero volume (the cut is degenerate),
+/// or when `side.len() != n`.
+///
+/// ```
+/// let g = welle_graph::gen::ring(6).unwrap();
+/// let side = vec![true, true, true, false, false, false];
+/// // 2 crossing edges / volume 6
+/// assert_eq!(welle_graph::analysis::cut_conductance(&g, &side), Some(2.0 / 6.0));
+/// ```
+pub fn cut_conductance(g: &Graph, side: &[bool]) -> Option<f64> {
+    if side.len() != g.n() {
+        return None;
+    }
+    let vol_true = volume(g, side);
+    let vol_min = vol_true.min(g.volume() - vol_true);
+    if vol_min == 0 {
+        return None;
+    }
+    Some(cut_edge_count(g, side) as f64 / vol_min as f64)
+}
+
+/// Exact conductance by exhaustive cut enumeration (`2^{n-1}` subsets;
+/// node 0 is pinned to one side by symmetry).
+///
+/// Returns `None` for `n < 2`, `n >` [`MAX_EXACT_CONDUCTANCE_N`], graphs
+/// with isolated nodes, or disconnected graphs (where `φ = 0`, reported as
+/// `Some(0.0)` would be misleading for the experiments — a disconnected
+/// graph simply returns `Some(0.0)`).
+pub fn conductance_exact(g: &Graph) -> Option<f64> {
+    let n = g.n();
+    if !(2..=MAX_EXACT_CONDUCTANCE_N).contains(&n) {
+        return None;
+    }
+    if g.nodes().any(|u| g.degree(u) == 0) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    let mut side = vec![false; n];
+    // Node 0 stays `false`; enumerate assignments of nodes 1..n.
+    for mask in 1..(1u64 << (n - 1)) {
+        for (i, s) in side.iter_mut().enumerate().skip(1) {
+            *s = (mask >> (i - 1)) & 1 == 1;
+        }
+        if let Some(phi) = cut_conductance(g, &side) {
+            if phi < best {
+                best = phi;
+            }
+        }
+    }
+    if best.is_finite() {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+/// Conductance of the "middle cut" splitting nodes `0..n/2` from the rest
+/// — the comparison cut used in Claim 17's argument.
+pub fn middle_cut_conductance(g: &Graph) -> Option<f64> {
+    let n = g.n();
+    let side: Vec<bool> = (0..n).map(|u| u < n / 2).collect();
+    cut_conductance(g, &side)
+}
+
+/// Edge expansion of a cut: `|∂S| / min(|S|, |V∖S|)` (vertex-counting
+/// isoperimetric ratio, versus the volume-counting conductance).
+///
+/// Returns `None` for degenerate cuts. On a `d`-regular graph
+/// `h_K = d·φ_K` exactly.
+pub fn cut_edge_expansion(g: &Graph, side: &[bool]) -> Option<f64> {
+    if side.len() != g.n() {
+        return None;
+    }
+    let size_true = side.iter().filter(|&&b| b).count();
+    let smaller = size_true.min(g.n() - size_true);
+    if smaller == 0 {
+        return None;
+    }
+    Some(cut_edge_count(g, side) as f64 / smaller as f64)
+}
+
+/// Exact edge expansion (isoperimetric number) `h(G) = min_S |∂S|/|S|`
+/// over sets with `|S| ≤ n/2`, by exhaustive enumeration. Same size
+/// limits as [`conductance_exact`]. Bollobás \[7\] proves random regular
+/// graphs have `h(G) = Θ(1)` — the fact Lemma 16 imports for the
+/// super-node graph.
+pub fn edge_expansion_exact(g: &Graph) -> Option<f64> {
+    let n = g.n();
+    if !(2..=MAX_EXACT_CONDUCTANCE_N).contains(&n) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    let mut side = vec![false; n];
+    for mask in 1..(1u64 << (n - 1)) {
+        for (i, s) in side.iter_mut().enumerate().skip(1) {
+            *s = (mask >> (i - 1)) & 1 == 1;
+        }
+        if let Some(h) = cut_edge_expansion(g, &side) {
+            if h < best {
+                best = h;
+            }
+        }
+    }
+    best.is_finite().then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::gen;
+
+    #[test]
+    fn volume_and_cut_count() {
+        let g = gen::ring(6).unwrap();
+        let side = vec![true, true, false, false, false, false];
+        assert_eq!(volume(&g, &side), 4);
+        assert_eq!(cut_edge_count(&g, &side), 2);
+    }
+
+    #[test]
+    fn degenerate_cut_is_none() {
+        let g = gen::ring(4).unwrap();
+        assert_eq!(cut_conductance(&g, &[false; 4]), None);
+        assert_eq!(cut_conductance(&g, &[true; 4]), None);
+        assert_eq!(cut_conductance(&g, &[true; 3]), None);
+    }
+
+    #[test]
+    fn clique_conductance_exact() {
+        // K4: the optimal cut isolates ~half the nodes. For K_n the
+        // conductance is ceil(n/2)*floor(n/2) / (floor(n/2) * (n-1)) =
+        // ceil(n/2) / (n-1).
+        let g = gen::clique(4).unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12, "phi = {phi}");
+        let g5 = gen::clique(5).unwrap();
+        let phi5 = conductance_exact(&g5).unwrap();
+        assert!((phi5 - 3.0 / 4.0).abs() < 1e-12, "phi5 = {phi5}");
+    }
+
+    #[test]
+    fn ring_conductance_exact() {
+        // C_n: best cut is an arc of n/2 nodes: 2 / n.
+        let g = gen::ring(8).unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / 8.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn barbell_conductance_matches_bridge_cut() {
+        let g = gen::barbell(4).unwrap();
+        // Min cut: the bridge. Volume of one side: 3*4 + 1 = 13.
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn exact_rejects_large_or_degenerate() {
+        let g = gen::ring(3).unwrap();
+        assert!(conductance_exact(&g).is_some());
+        let big = gen::ring(MAX_EXACT_CONDUCTANCE_N + 1).unwrap();
+        assert!(conductance_exact(&big).is_none());
+        let isolated = from_edges(3, &[(0, 1)]).unwrap();
+        assert!(conductance_exact(&isolated).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_conductance() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(conductance_exact(&g), Some(0.0));
+    }
+
+    #[test]
+    fn exact_is_lower_bound_for_any_cut() {
+        let g = gen::hypercube(3).unwrap();
+        let exact = conductance_exact(&g).unwrap();
+        // Any specific cut upper-bounds the conductance.
+        let side: Vec<bool> = (0..8).map(|u| u % 2 == 0).collect();
+        let phi = cut_conductance(&g, &side).unwrap();
+        assert!(exact <= phi + 1e-12);
+        // Hypercube Q_d conductance is 1/d (dimension cut).
+        assert!((exact - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn middle_cut_on_even_ring() {
+        let g = gen::ring(10).unwrap();
+        let phi = middle_cut_conductance(&g).unwrap();
+        assert!((phi - 2.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_expansion_relates_to_conductance_on_regular_graphs() {
+        // On d-regular graphs h = d·φ.
+        for g in [gen::ring(8).unwrap(), gen::hypercube(3).unwrap()] {
+            let d = g.degree(crate::types::NodeId::new(0));
+            let h = edge_expansion_exact(&g).unwrap();
+            let phi = conductance_exact(&g).unwrap();
+            assert!((h - d as f64 * phi).abs() < 1e-9, "h={h} phi={phi} d={d}");
+        }
+    }
+
+    #[test]
+    fn random_regular_expansion_is_bounded_away_from_zero() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        // Bollobás: random cubic graphs expand; check a small instance
+        // exactly.
+        let g = gen::random_regular(14, 3, &mut rng).unwrap();
+        let h = edge_expansion_exact(&g).unwrap();
+        assert!(h >= 0.4, "expansion {h} too small for a random cubic graph");
+    }
+
+    #[test]
+    fn cut_edge_expansion_degenerate() {
+        let g = gen::ring(4).unwrap();
+        assert_eq!(cut_edge_expansion(&g, &[false; 4]), None);
+        assert_eq!(cut_edge_expansion(&g, &[true; 3]), None);
+        let h = cut_edge_expansion(&g, &[true, true, false, false]).unwrap();
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or generating a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was added; the paper's model has none.
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// The same undirected edge was added twice (multigraphs unsupported).
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A graph with zero nodes was requested.
+    Empty,
+    /// Generator parameters are infeasible (e.g. odd `n·d` for a
+    /// `d`-regular graph, or a clique size too small for the lower-bound
+    /// construction).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget without producing
+    /// a valid (simple, connected) graph.
+    RetriesExhausted {
+        /// What was being generated.
+        what: String,
+        /// How many attempts were made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate undirected edge ({u}, {v})")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::RetriesExhausted { what, attempts } => {
+                write!(f, "failed to generate {what} after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::NodeOutOfRange { node: 5, n: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::DuplicateEdge { u: 0, v: 1 },
+            GraphError::Empty,
+            GraphError::InvalidParameters {
+                reason: "d must be even".into(),
+            },
+            GraphError::RetriesExhausted {
+                what: "random 4-regular graph".into(),
+                attempts: 100,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("graph"));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(GraphError::Empty);
+    }
+}

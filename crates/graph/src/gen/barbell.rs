@@ -1,0 +1,106 @@
+//! Barbell and lollipop graphs — extreme low-conductance families
+//! (`φ = Θ(1/n²)`, `t_mix = Θ(n³)` for the lollipop) used to stress the
+//! poorly-connected end of the spectrum.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Barbell graph: two cliques `K_k` joined by a single edge.
+/// `n = 2k`, conductance `Θ(1/k²)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `k < 2`.
+///
+/// ```
+/// let g = welle_graph::gen::barbell(5).unwrap();
+/// assert_eq!(g.n(), 10);
+/// assert_eq!(g.m(), 2 * 10 + 1);
+/// ```
+pub fn barbell(k: usize) -> Result<Graph, GraphError> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("barbell needs clique size k >= 2, got {k}"),
+        });
+    }
+    let n = 2 * k;
+    let mut b = GraphBuilder::with_capacity(n, k * (k - 1) + 1);
+    for base in [0, k] {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge(base + u, base + v)?;
+            }
+        }
+    }
+    // Join the last node of the left clique to the first of the right.
+    b.add_edge(k - 1, k)?;
+    b.build()
+}
+
+/// Lollipop graph: clique `K_k` with a path of `tail` extra nodes attached.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `k < 2` or `tail == 0`.
+pub fn lollipop(k: usize, tail: usize) -> Result<Graph, GraphError> {
+    if k < 2 || tail == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("lollipop needs k >= 2 and tail >= 1, got k={k}, tail={tail}"),
+        });
+    }
+    let n = k + tail;
+    let mut b = GraphBuilder::with_capacity(n, k * (k - 1) / 2 + tail);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v)?;
+        }
+    }
+    for t in 0..tail {
+        b.add_edge(k - 1 + t, k + t)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2 * 6 + 1);
+        assert!(analysis::is_connected(&g));
+        // Crossing the bridge: 1 (to bridge) + 1 (bridge) + 1 = 3.
+        assert_eq!(analysis::diameter_exact(&g), Some(3));
+    }
+
+    #[test]
+    fn barbell_bridge_is_a_cut() {
+        let g = barbell(6);
+        let g = g.unwrap();
+        // The single joining edge determines a cut of conductance
+        // 1 / vol(K_6 side). Left side volume: 5*6/2*2 + 1 = 31.
+        let left: Vec<bool> = (0..12).map(|u| u < 6).collect();
+        let phi = analysis::cut_conductance(&g, &left).unwrap();
+        assert!((phi - 1.0 / 31.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 3).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 10 + 3);
+        assert!(analysis::is_connected(&g));
+        assert_eq!(analysis::diameter_exact(&g), Some(4));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(barbell(1).is_err());
+        assert!(lollipop(1, 3).is_err());
+        assert!(lollipop(4, 0).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Elementary deterministic families plus random trees.
+
+use rand::{Rng, RngExt};
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Cycle `C_n` (the classic worst case for deterministic election, cf. the
+/// Frederickson–Lynch bound the paper cites).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 3`.
+///
+/// ```
+/// let g = welle_graph::gen::ring(8).unwrap();
+/// assert_eq!(g.m(), 8);
+/// assert!(g.is_regular(2));
+/// ```
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("ring needs n >= 3, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 0..n {
+        b.add_edge(u, (u + 1) % n)?;
+    }
+    b.build()
+}
+
+/// Path `P_n` on `n >= 2` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 2`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("path needs n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for u in 0..n - 1 {
+        b.add_edge(u, u + 1)?;
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` — constant conductance, `t_mix = O(1)`; the setting
+/// of the `Ω(√n)` bound of Kutten et al. \[25\] that Theorem 13 nearly meets.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 2`.
+pub fn clique(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("clique needs n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    b.build()
+}
+
+/// Star `S_n`: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("star needs n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for leaf in 1..n {
+        b.add_edge(0, leaf)?;
+    }
+    b.build()
+}
+
+/// Complete binary tree on `n` nodes (heap layout: children of `i` are
+/// `2i + 1` and `2i + 2`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 2`.
+pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("binary tree needs n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for child in 1..n {
+        b.add_edge((child - 1) / 2, child)?;
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree: node `i > 0` attaches to a uniformly
+/// random earlier node. Always connected; expected diameter `Θ(log n)` but
+/// conductance can be poor — a useful "badly connected" contrast family.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `n < 2`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("random tree needs n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for child in 1..n {
+        let parent = rng.random_range(0..child);
+        b.add_edge(parent, child)?;
+    }
+    let mut g = b.build()?;
+    g.shuffle_ports(rng);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 10);
+        assert!(g.is_regular(2));
+        assert!(analysis::is_connected(&g));
+        assert_eq!(analysis::diameter_exact(&g), Some(5));
+    }
+
+    #[test]
+    fn ring_minimum_size() {
+        assert!(ring(2).is_err());
+        let g = ring(3).unwrap();
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(6).unwrap();
+        assert_eq!(g.m(), 5);
+        assert_eq!(analysis::diameter_exact(&g), Some(5));
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(7).unwrap();
+        assert_eq!(g.m(), 21);
+        assert!(g.is_regular(6));
+        assert_eq!(analysis::diameter_exact(&g), Some(1));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9).unwrap();
+        assert_eq!(g.m(), 8);
+        let s = g.degree_stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert_eq!(analysis::diameter_exact(&g), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15).unwrap();
+        assert_eq!(g.m(), 14);
+        assert!(analysis::is_connected(&g));
+        // Complete tree of depth 3: diameter 6 (leaf to leaf).
+        assert_eq!(analysis::diameter_exact(&g), Some(6));
+    }
+
+    #[test]
+    fn random_tree_connected_for_many_seeds() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_tree(64, &mut rng).unwrap();
+            assert_eq!(g.m(), 63);
+            assert!(analysis::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(path(1).is_err());
+        assert!(clique(1).is_err());
+        assert!(star(1).is_err());
+        assert!(binary_tree(1).is_err());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_tree(1, &mut rng).is_err());
+    }
+}

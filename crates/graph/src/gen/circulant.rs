@@ -1,0 +1,114 @@
+//! Circulant graphs `C_n(S)`: node `u` connects to `u ± s (mod n)` for
+//! each jump `s ∈ S`. A tunable-connectivity family interpolating between
+//! the ring (`S = {1}`, conductance `Θ(1/n)`) and dense graphs with large
+//! jumps mixing in few steps — useful for sweeping conductance
+//! continuously in the experiments.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Circulant graph with the given jump set.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 3`, `jumps` is empty,
+/// contains 0, a duplicate, a value `≥ (n+1)/2` (which would create
+/// parallel edges), or exactly `n/2` for even `n` (self-paired jump —
+/// supported by the model but kept out for degree uniformity).
+///
+/// ```
+/// // C_12({1, 3}): 4-regular, better connected than the plain ring.
+/// let g = welle_graph::gen::circulant(12, &[1, 3]).unwrap();
+/// assert!(g.is_regular(4));
+/// ```
+pub fn circulant(n: usize, jumps: &[usize]) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("circulant needs n >= 3, got {n}"),
+        });
+    }
+    if jumps.is_empty() {
+        return Err(GraphError::InvalidParameters {
+            reason: "circulant needs at least one jump".into(),
+        });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &s in jumps {
+        if s == 0 || 2 * s >= n {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("jump {s} out of range (need 1 <= s < n/2 for n = {n})"),
+            });
+        }
+        if !seen.insert(s) {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("duplicate jump {s}"),
+            });
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * jumps.len());
+    for u in 0..n {
+        for &s in jumps {
+            b.add_edge(u, (u + s) % n)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn single_jump_is_a_ring() {
+        let g = circulant(9, &[1]).unwrap();
+        let ring = crate::gen::ring(9).unwrap();
+        assert_eq!(g.m(), ring.m());
+        assert!(g.is_regular(2));
+    }
+
+    #[test]
+    fn jumps_add_regular_degree() {
+        let g = circulant(16, &[1, 2, 5]).unwrap();
+        assert!(g.is_regular(6));
+        assert_eq!(g.m(), 48);
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn long_jumps_shrink_diameter() {
+        let ring = circulant(64, &[1]).unwrap();
+        let chord = circulant(64, &[1, 8]).unwrap();
+        let d_ring = analysis::diameter_exact(&ring).unwrap();
+        let d_chord = analysis::diameter_exact(&chord).unwrap();
+        assert!(d_chord < d_ring / 2, "{d_chord} vs {d_ring}");
+    }
+
+    #[test]
+    fn chords_raise_conductance() {
+        let ring = circulant(16, &[1]).unwrap();
+        let chord = circulant(16, &[1, 4]).unwrap();
+        let phi_ring = analysis::conductance_exact(&ring).unwrap();
+        let phi_chord = analysis::conductance_exact(&chord).unwrap();
+        assert!(phi_chord > phi_ring, "{phi_chord} vs {phi_ring}");
+    }
+
+    #[test]
+    fn rejects_bad_jump_sets() {
+        assert!(circulant(2, &[1]).is_err());
+        assert!(circulant(8, &[]).is_err());
+        assert!(circulant(8, &[0]).is_err());
+        assert!(circulant(8, &[4]).is_err()); // 2s == n: self-paired
+        assert!(circulant(8, &[1, 1]).is_err());
+        assert!(circulant(9, &[5]).is_err()); // 2s > n
+    }
+
+    #[test]
+    fn disconnected_when_jumps_share_factor_with_n() {
+        // gcd(2, 8) = 2: two components.
+        let g = circulant(8, &[2]).unwrap();
+        assert!(!analysis::is_connected(&g));
+        assert_eq!(analysis::component_count(&g), 2);
+    }
+}

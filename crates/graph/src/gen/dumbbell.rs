@@ -1,0 +1,231 @@
+//! Dumbbell graphs (§5): two "open graphs" joined by two bridge edges.
+//!
+//! Given a 2-edge-connected base graph `G₀`, the construction removes one
+//! edge `e' = (v', w')` from a left copy and one edge `e'' = (v'', w'')`
+//! from a right copy, then adds the bridges `(v', v'')` and `(w', w'')`.
+//! Theorem 28 uses these to show that leader election without knowledge of
+//! `n` costs `Ω(m)` messages: until a message crosses a bridge, each side's
+//! execution is indistinguishable from running on its own copy alone.
+
+use rand::{Rng, RngExt};
+
+use crate::analysis;
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::types::{EdgeId, NodeId};
+
+/// A dumbbell graph with bookkeeping for the bridge-crossing experiments.
+#[derive(Clone, Debug)]
+pub struct Dumbbell {
+    graph: Graph,
+    half_n: usize,
+    bridge_edges: [EdgeId; 2],
+    removed_left: (usize, usize),
+    removed_right: (usize, usize),
+}
+
+impl Dumbbell {
+    /// The combined graph on `2·|G₀|` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes `self`, returning the combined graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Number of nodes on each side.
+    pub fn half_n(&self) -> usize {
+        self.half_n
+    }
+
+    /// Returns `true` if the node lies in the left copy.
+    pub fn is_left(&self, u: NodeId) -> bool {
+        u.index() < self.half_n
+    }
+
+    /// The two bridge edge ids.
+    pub fn bridges(&self) -> [EdgeId; 2] {
+        self.bridge_edges
+    }
+
+    /// Whether an edge is one of the two bridges.
+    pub fn is_bridge(&self, e: EdgeId) -> bool {
+        self.bridge_edges.contains(&e)
+    }
+
+    /// The edge removed from the left copy (original `G₀` indices).
+    pub fn removed_left(&self) -> (usize, usize) {
+        self.removed_left
+    }
+
+    /// The edge removed from the right copy (original `G₀` indices).
+    pub fn removed_right(&self) -> (usize, usize) {
+        self.removed_right
+    }
+}
+
+/// Builds `Dumbbell(G₀[e'], G₀[e''])` from a base graph, choosing the
+/// opened edges uniformly at random among those whose removal keeps the
+/// copy connected (i.e. non-bridge edges of `G₀`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if the base graph has no
+/// removable edge (every edge is a cut edge, e.g. a tree) or is
+/// disconnected.
+///
+/// ```
+/// use rand::{SeedableRng, rngs::StdRng};
+/// let base = welle_graph::gen::ring(6).unwrap();
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let db = welle_graph::gen::dumbbell(&base, &mut rng).unwrap();
+/// assert_eq!(db.graph().n(), 12);
+/// assert_eq!(db.graph().m(), 2 * (6 - 1) + 2); // two opened copies + 2 bridges
+/// ```
+pub fn dumbbell<R: Rng + ?Sized>(base: &Graph, rng: &mut R) -> Result<Dumbbell, GraphError> {
+    if !analysis::is_connected(base) {
+        return Err(GraphError::InvalidParameters {
+            reason: "dumbbell base graph must be connected".into(),
+        });
+    }
+    let removable: Vec<(usize, usize)> = {
+        let bridge_set = analysis::bridges(base);
+        base.edges()
+            .filter(|(e, _, _)| !bridge_set.contains(e))
+            .map(|(_, u, v)| (u.index(), v.index()))
+            .collect()
+    };
+    if removable.is_empty() {
+        return Err(GraphError::InvalidParameters {
+            reason: "dumbbell base graph has no non-bridge edge to open".into(),
+        });
+    }
+    let (lv, lw) = removable[rng.random_range(0..removable.len())];
+    let (rv, rw) = removable[rng.random_range(0..removable.len())];
+
+    let n0 = base.n();
+    let n = 2 * n0;
+    let mut b = GraphBuilder::with_capacity(n, 2 * base.m());
+    for (_, u, v) in base.edges() {
+        let (u, v) = (u.index(), v.index());
+        if (u, v) != (lv.min(lw), lv.max(lw)) {
+            b.add_edge(u, v)?;
+        }
+        if (u, v) != (rv.min(rw), rv.max(rw)) {
+            b.add_edge(n0 + u, n0 + v)?;
+        }
+    }
+    // Bridges follow the paper's ordering convention: the smaller endpoint
+    // of e' connects to the smaller endpoint of e''.
+    let (lv, lw) = (lv.min(lw), lv.max(lw));
+    let (rv, rw) = (rv.min(rw), rv.max(rw));
+    b.add_edge(lv, n0 + rv)?;
+    b.add_edge(lw, n0 + rw)?;
+
+    let mut graph = b.build()?;
+    graph.shuffle_ports(rng);
+
+    let mut bridge_edges = Vec::with_capacity(2);
+    for (e, u, v) in graph.edges() {
+        let crosses = (u.index() < n0) != (v.index() < n0);
+        if crosses {
+            bridge_edges.push(e);
+        }
+    }
+    debug_assert_eq!(bridge_edges.len(), 2);
+
+    Ok(Dumbbell {
+        graph,
+        half_n: n0,
+        bridge_edges: [bridge_edges[0], bridge_edges[1]],
+        removed_left: (lv, lw),
+        removed_right: (rv, rw),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_dumbbell_shape() {
+        let base = gen::ring(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let db = dumbbell(&base, &mut rng).unwrap();
+        assert_eq!(db.graph().n(), 16);
+        assert_eq!(db.graph().m(), 2 * 7 + 2);
+        assert!(analysis::is_connected(db.graph()));
+        assert_eq!(db.half_n(), 8);
+    }
+
+    #[test]
+    fn bridges_are_the_only_crossings() {
+        let base = gen::clique(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let db = dumbbell(&base, &mut rng).unwrap();
+        let mut crossings = 0;
+        for (e, u, v) in db.graph().edges() {
+            if db.is_left(u) != db.is_left(v) {
+                crossings += 1;
+                assert!(db.is_bridge(e));
+            } else {
+                assert!(!db.is_bridge(e));
+            }
+        }
+        assert_eq!(crossings, 2);
+    }
+
+    #[test]
+    fn sides_have_equal_sizes_and_stay_connected_without_bridges() {
+        let base = gen::random_regular(16, 4, &mut StdRng::seed_from_u64(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = dumbbell(&base, &mut rng).unwrap();
+        // Check each side is internally connected: BFS from node 0 reaches
+        // all left nodes using only intra-side edges.
+        let g = db.graph();
+        for (start, is_left_side) in [(0usize, true), (db.half_n(), false)] {
+            let mut seen = vec![false; g.n()];
+            let mut queue = std::collections::VecDeque::new();
+            seen[start] = true;
+            queue.push_back(NodeId::new(start));
+            let mut count = 0;
+            while let Some(u) = queue.pop_front() {
+                count += 1;
+                for p in g.ports(u) {
+                    let e = g.edge_id(u, p);
+                    if db.is_bridge(e) {
+                        continue;
+                    }
+                    let v = g.neighbor(u, p);
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            assert_eq!(count, db.half_n(), "side (left={is_left_side}) connected");
+        }
+    }
+
+    #[test]
+    fn tree_base_rejected() {
+        let base = gen::binary_tree(7).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(dumbbell(&base, &mut rng).is_err());
+    }
+
+    #[test]
+    fn degrees_preserved_for_ring_base() {
+        // Opening an edge drops two degrees by 1; bridges restore them.
+        let base = gen::ring(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let db = dumbbell(&base, &mut rng).unwrap();
+        assert!(db.graph().is_regular(2));
+    }
+}

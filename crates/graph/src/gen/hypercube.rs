@@ -1,0 +1,87 @@
+//! Hypercube graphs — the paper's second headline family
+//! (`t_mix = O(log n log log n)`, §1 "Results").
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// `dim`-dimensional hypercube `Q_dim` on `n = 2^dim` nodes; nodes are
+/// adjacent iff their indices differ in exactly one bit.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] for `dim == 0` or `dim > 24`
+/// (2^24 nodes is past anything the simulator should attempt).
+///
+/// ```
+/// let g = welle_graph::gen::hypercube(4).unwrap();
+/// assert_eq!(g.n(), 16);
+/// assert!(g.is_regular(4));
+/// ```
+pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
+    if dim == 0 || dim > 24 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("hypercube dimension must be in 1..=24, got {dim}"),
+        });
+    }
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
+    for u in 0..n {
+        for bit in 0..dim {
+            let v = u ^ (1usize << bit);
+            if u < v {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::types::NodeId;
+
+    #[test]
+    fn q3_shape() {
+        let g = hypercube(3).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 12);
+        assert!(g.is_regular(3));
+        assert!(analysis::is_connected(&g));
+        assert_eq!(analysis::diameter_exact(&g), Some(3));
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let g = hypercube(5).unwrap();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let x = u.index() ^ v.index();
+                assert_eq!(x.count_ones(), 1, "{u} and {v} must differ in one bit");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_equals_dimension() {
+        for dim in 1..=6 {
+            let g = hypercube(dim).unwrap();
+            assert_eq!(analysis::diameter_exact(&g), Some(dim));
+        }
+    }
+
+    #[test]
+    fn antipodal_distance() {
+        let g = hypercube(6).unwrap();
+        let dist = analysis::bfs(&g, NodeId::new(0));
+        assert_eq!(dist[g.n() - 1], 6);
+    }
+
+    #[test]
+    fn rejects_degenerate_dims() {
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(25).is_err());
+    }
+}

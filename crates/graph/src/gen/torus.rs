@@ -1,0 +1,116 @@
+//! 2-D tori and grids — moderately connected families
+//! (`t_mix = Θ(n)` for the √n×√n torus) used as contrast to expanders.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// `rows × cols` torus (wrap-around grid); 4-regular.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if either dimension is `< 3`
+/// (wrap-around with dimension 2 would create parallel edges).
+///
+/// ```
+/// let g = welle_graph::gen::torus2d(4, 5).unwrap();
+/// assert_eq!(g.n(), 20);
+/// assert!(g.is_regular(4));
+/// ```
+pub fn torus2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("torus needs rows, cols >= 3, got {rows}x{cols}"),
+        });
+    }
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))?;
+            b.add_edge(id(r, c), id((r + 1) % rows, c))?;
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid without wrap-around.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `rows * cols < 2`.
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows * cols < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("grid needs at least 2 nodes, got {rows}x{cols}"),
+        });
+    }
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1))?;
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c))?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn torus_shape() {
+        let g = torus2d(4, 4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(g.is_regular(4));
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_diameter() {
+        // Diameter of an r x c torus is floor(r/2) + floor(c/2).
+        let g = torus2d(6, 8).unwrap();
+        assert_eq!(analysis::diameter_exact(&g), Some(3 + 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 5).unwrap();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 3 * 4 + 2 * 5);
+        assert!(analysis::is_connected(&g));
+        assert_eq!(analysis::diameter_exact(&g), Some(2 + 4));
+    }
+
+    #[test]
+    fn grid_corner_degrees() {
+        let g = grid2d(3, 3).unwrap();
+        let s = g.degree_stats();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 4);
+    }
+
+    #[test]
+    fn rejects_small_torus() {
+        assert!(torus2d(2, 5).is_err());
+        assert!(torus2d(3, 2).is_err());
+        assert!(grid2d(1, 1).is_err());
+    }
+
+    #[test]
+    fn single_row_grid_is_path() {
+        let g = grid2d(1, 6).unwrap();
+        assert_eq!(g.m(), 5);
+        assert_eq!(analysis::diameter_exact(&g), Some(5));
+    }
+}

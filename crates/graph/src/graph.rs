@@ -1,0 +1,526 @@
+//! The CSR port-numbered undirected graph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::types::{EdgeId, NodeId, Port};
+
+/// An immutable, compressed-sparse-row undirected graph with port numbering.
+///
+/// This is the network of the paper's model (§1): `n` anonymous nodes, `m`
+/// undirected edges, each node owning ports `0..deg(u)`. Port mappings are
+/// **asymmetric**: if `u` reaches `v` via port `i`, `v` generally reaches
+/// `u` via a different port `j`; [`Graph::reverse_port`] resolves `j` so the
+/// simulator can deliver replies without protocols ever learning ids.
+///
+/// ```
+/// use welle_graph::{gen, NodeId, Port};
+/// let g = gen::ring(5).unwrap();
+/// let u = NodeId::new(0);
+/// let p = Port::new(0);
+/// let v = g.neighbor(u, p);
+/// let q = g.reverse_port(u, p);
+/// assert_eq!(g.neighbor(v, q), u); // round-trip through the edge
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR offsets: `offsets[u]..offsets[u + 1]` indexes `u`'s adjacency.
+    offsets: Vec<usize>,
+    /// Flattened neighbour lists; `neighbors[offsets[u] + p]` is the node
+    /// behind `u`'s port `p`.
+    neighbors: Vec<NodeId>,
+    /// `rev_ports[offsets[u] + p]` is the port on the *neighbour's* side of
+    /// the same edge.
+    rev_ports: Vec<Port>,
+    /// Undirected edge id of the edge behind each slot.
+    edge_ids: Vec<EdgeId>,
+    /// Endpoints of each undirected edge (canonical order: smaller first).
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Builds from edges that were already validated by
+    /// [`crate::GraphBuilder`] (in-range, no loops, no duplicates).
+    pub(crate) fn from_validated_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let m = edges.len();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let total = acc;
+        let mut neighbors = vec![NodeId::default(); total];
+        let mut rev_ports = vec![Port::default(); total];
+        let mut edge_ids = vec![EdgeId::default(); total];
+        let mut endpoints = Vec::with_capacity(m);
+        let mut cursor = offsets[..n].to_vec();
+
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            let (u, v) = (u as usize, v as usize);
+            let eid = EdgeId::new(idx);
+            let su = cursor[u];
+            let sv = cursor[v];
+            cursor[u] += 1;
+            cursor[v] += 1;
+            neighbors[su] = NodeId::new(v);
+            neighbors[sv] = NodeId::new(u);
+            edge_ids[su] = eid;
+            edge_ids[sv] = eid;
+            rev_ports[su] = Port::new(sv - offsets[v]);
+            rev_ports[sv] = Port::new(su - offsets[u]);
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            endpoints.push((NodeId::new(a), NodeId::new(b)));
+        }
+
+        Graph {
+            offsets,
+            neighbors,
+            rev_ports,
+            edge_ids,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of node `u` (also the number of its ports).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    /// Total volume `Σ_v deg(v) = 2m` (§2's `Vol(V)`).
+    #[inline]
+    pub fn volume(&self) -> usize {
+        2 * self.m()
+    }
+
+    /// The node behind `u`'s port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= deg(u)`.
+    #[inline]
+    pub fn neighbor(&self, u: NodeId, p: Port) -> NodeId {
+        let slot = self.slot(u, p);
+        self.neighbors[slot]
+    }
+
+    /// The port on the far side of the edge behind `u`'s port `p`
+    /// (i.e. the `j` such that `neighbor(v, j) == u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= deg(u)`.
+    #[inline]
+    pub fn reverse_port(&self, u: NodeId, p: Port) -> Port {
+        let slot = self.slot(u, p);
+        self.rev_ports[slot]
+    }
+
+    /// Undirected edge id of the edge behind `u`'s port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= deg(u)`.
+    #[inline]
+    pub fn edge_id(&self, u: NodeId, p: Port) -> EdgeId {
+        let slot = self.slot(u, p);
+        self.edge_ids[slot]
+    }
+
+    /// Endpoints of an undirected edge, smaller node first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Slice of `u`'s neighbours in port order.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> NeighborIter {
+        NeighborIter {
+            next: 0,
+            end: self.n(),
+        }
+    }
+
+    /// Iterator over `u`'s ports `0..deg(u)`.
+    pub fn ports(&self, u: NodeId) -> PortIter {
+        PortIter {
+            next: 0,
+            end: self.degree(u),
+        }
+    }
+
+    /// Iterator over all undirected edges as `(EdgeId, u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::new(i), u, v))
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` exists.
+    ///
+    /// Linear in `min(deg(u), deg(v))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Degree statistics over all nodes.
+    pub fn degree_stats(&self) -> DegreeStats {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for u in self.nodes() {
+            let d = self.degree(u);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: sum as f64 / self.n() as f64,
+        }
+    }
+
+    /// Returns `true` if every node has degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.nodes().all(|u| self.degree(u) == d)
+    }
+
+    /// Dense index of the *directed* edge `(u, port p)` in `0..2m`.
+    ///
+    /// Each undirected edge contributes two directed indices (one per
+    /// direction); simulators use this to key per-direction message queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= deg(u)`.
+    #[inline]
+    pub fn directed_index(&self, u: NodeId, p: Port) -> usize {
+        self.slot(u, p)
+    }
+
+    /// Number of directed edges (`2m`), the exclusive upper bound of
+    /// [`Graph::directed_index`].
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Permutes every node's port numbering uniformly at random.
+    ///
+    /// The lower-bound arguments (Lemma 18) require inter-clique ports to be
+    /// indistinguishable from intra-clique ones; generators call this after
+    /// structured construction so port numbers carry no information.
+    pub fn shuffle_ports<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.n();
+        // Build the permuted adjacency, then recompute reverse ports.
+        let mut perms: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for u in 0..n {
+            let deg = self.offsets[u + 1] - self.offsets[u];
+            let mut perm: Vec<usize> = (0..deg).collect();
+            perm.shuffle(rng);
+            perms.push(perm);
+        }
+        let old_neighbors = self.neighbors.clone();
+        let old_edge_ids = self.edge_ids.clone();
+        // new_slot_of[old slot] -> new slot (global)
+        let mut new_slot_of = vec![0usize; self.neighbors.len()];
+        for u in 0..n {
+            let base = self.offsets[u];
+            let deg = self.offsets[u + 1] - base;
+            for old_p in 0..deg {
+                // perm[old_p] = new port for the entry previously at old_p
+                new_slot_of[base + old_p] = base + perms[u][old_p];
+            }
+        }
+        for (old_slot, &new_slot) in new_slot_of.iter().enumerate() {
+            self.neighbors[new_slot] = old_neighbors[old_slot];
+            self.edge_ids[new_slot] = old_edge_ids[old_slot];
+        }
+        // Recompute reverse ports from scratch via per-edge slot tracking.
+        let mut edge_slots: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); self.m()];
+        for u in 0..n {
+            let base = self.offsets[u];
+            let deg = self.offsets[u + 1] - base;
+            for p in 0..deg {
+                let slot = base + p;
+                let e = self.edge_ids[slot].index();
+                if edge_slots[e].0 == usize::MAX {
+                    edge_slots[e].0 = slot;
+                } else {
+                    edge_slots[e].1 = slot;
+                }
+            }
+        }
+        for &(s1, s2) in &edge_slots {
+            debug_assert!(s2 != usize::MAX, "every edge has two slots");
+            let u1 = self.owner_of_slot(s1);
+            let u2 = self.owner_of_slot(s2);
+            self.rev_ports[s1] = Port::new(s2 - self.offsets[u2]);
+            self.rev_ports[s2] = Port::new(s1 - self.offsets[u1]);
+        }
+    }
+
+    /// Node owning a global adjacency slot (binary search over offsets).
+    fn owner_of_slot(&self, slot: usize) -> usize {
+        match self.offsets.binary_search(&slot) {
+            Ok(mut i) => {
+                // Offsets of empty nodes may repeat; advance to the node
+                // whose range actually starts at or before `slot`.
+                while i + 1 < self.offsets.len() && self.offsets[i + 1] == slot {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, u: NodeId, p: Port) -> usize {
+        let d = self.degree(u);
+        assert!(
+            p.index() < d,
+            "port {p} out of range for node {u} with degree {d}"
+        );
+        self.offsets[u.index()] + p.index()
+    }
+}
+
+/// Min/max/mean node degree, from [`Graph::degree_stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m / n`).
+    pub mean: f64,
+}
+
+/// Iterator over node ids, returned by [`Graph::nodes`].
+#[derive(Clone, Debug)]
+pub struct NeighborIter {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for NeighborIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId::new(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter {}
+
+/// Iterator over a node's ports, returned by [`Graph::ports`].
+#[derive(Clone, Debug)]
+pub struct PortIter {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for PortIter {
+    type Item = Port;
+
+    fn next(&mut self) -> Option<Port> {
+        if self.next < self.end {
+            let p = Port::new(self.next);
+            self.next += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PortIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square() -> Graph {
+        from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn csr_basic_shape() {
+        let g = square();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.volume(), 8);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.is_regular(2));
+        assert!(!g.is_regular(3));
+    }
+
+    #[test]
+    fn reverse_ports_round_trip() {
+        let g = square();
+        for u in g.nodes() {
+            for p in g.ports(u) {
+                let v = g.neighbor(u, p);
+                let q = g.reverse_port(u, p);
+                assert_eq!(g.neighbor(v, q), u, "rev port leads back");
+                assert_eq!(g.reverse_port(v, q), p, "rev of rev is identity");
+                assert_eq!(g.edge_id(u, p), g.edge_id(v, q), "same edge id both sides");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_match_slots() {
+        let g = square();
+        for (e, u, v) in g.edges() {
+            assert!(u <= v);
+            assert!(g.has_edge(u, v));
+            assert_eq!(g.endpoints(e), (u, v));
+        }
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn shuffle_ports_preserves_structure() {
+        let mut g = from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap();
+        let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            g.shuffle_ports(&mut rng);
+            let new_degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+            assert_eq!(degrees, new_degrees);
+            // Adjacency as a set is unchanged; reverse ports still valid.
+            for u in g.nodes() {
+                for p in g.ports(u) {
+                    let v = g.neighbor(u, p);
+                    let q = g.reverse_port(u, p);
+                    assert_eq!(g.neighbor(v, q), u);
+                    assert_eq!(g.edge_id(u, p), g.edge_id(v, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_actually_permutes_eventually() {
+        // With 8 ports on node 0, at least one shuffle changes the order.
+        let mut g = from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (0, 7),
+                (0, 8),
+            ],
+        )
+        .unwrap();
+        let before: Vec<NodeId> = g.neighbors(NodeId::new(0)).to_vec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut changed = false;
+        for _ in 0..10 {
+            g.shuffle_ports(&mut rng);
+            if g.neighbors(NodeId::new(0)) != before.as_slice() {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "shuffling should change port order w.h.p.");
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let s = g.degree_stats();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "port")]
+    fn bad_port_panics() {
+        let g = square();
+        let _ = g.neighbor(NodeId::new(0), Port::new(2));
+    }
+
+    #[test]
+    fn isolated_node_slot_owner() {
+        // Regression guard for owner_of_slot with zero-degree nodes.
+        let mut g = from_edges(5, &[(0, 2), (2, 4)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        g.shuffle_ports(&mut rng);
+        for u in g.nodes() {
+            for p in g.ports(u) {
+                let v = g.neighbor(u, p);
+                let q = g.reverse_port(u, p);
+                assert_eq!(g.neighbor(v, q), u);
+            }
+        }
+    }
+}

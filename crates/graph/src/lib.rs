@@ -1,0 +1,46 @@
+//! Port-numbered undirected graphs for the `welle` leader-election reproduction.
+//!
+//! This crate provides the network substrate required by the PODC 2018 paper
+//! *Leader Election in Well-Connected Graphs* (Gilbert, Robinson, Sourav):
+//!
+//! * a compact CSR [`Graph`] with **port numbering** (the KT0 model: a node
+//!   knows its ports `0..deg(u)` but not the identity of the neighbour behind
+//!   a port, and port mappings need not be symmetric),
+//! * [`gen`]: generators for every graph family the paper discusses —
+//!   rings, cliques, stars, trees, hypercubes, tori, Erdős–Rényi, random
+//!   regular expanders, barbells, the §4.1 lower-bound *clique-of-cliques*
+//!   graph and the §5 *dumbbell* graphs,
+//! * [`analysis`]: BFS/connectivity/diameter, cut conductance, exact
+//!   conductance for small graphs, and spectral machinery (second eigenvalue
+//!   of the lazy walk, Cheeger bounds) used to estimate the conductance `φ`
+//!   of §2.
+//!
+//! # Example
+//!
+//! ```
+//! use welle_graph::{gen, analysis};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = gen::random_regular(64, 4, &mut rng).expect("generation succeeds");
+//! assert_eq!(g.n(), 64);
+//! assert!(analysis::is_connected(&g));
+//! let phi = analysis::conductance_sweep(&g, 200);
+//! assert!(phi > 0.0 && phi <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod types;
+
+pub mod analysis;
+pub mod gen;
+
+pub use builder::{from_edges, GraphBuilder};
+pub use error::GraphError;
+pub use graph::{DegreeStats, Graph, NeighborIter, PortIter};
+pub use types::{EdgeId, NodeId, Port};

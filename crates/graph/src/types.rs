@@ -1,0 +1,201 @@
+//! Small index newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Index of a node in a [`crate::Graph`] (`0..n`).
+///
+/// Node indices are a *simulation* handle: in the paper's model nodes are
+/// anonymous and protocols must never consult them — they address neighbours
+/// only through [`Port`]s. The simulator uses `NodeId` purely for
+/// bookkeeping (queues, metrics, outcome reporting).
+///
+/// ```
+/// use welle_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// Returns the index as `usize`, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A local port of a node: `0..deg(u)`.
+///
+/// Ports are the only addressing mechanism available to protocols (the KT0
+/// "clean network" model of the paper): `u`'s port `p` leads to some
+/// neighbour, and the reverse direction generally uses a *different* port
+/// number on the other side.
+///
+/// ```
+/// use welle_graph::Port;
+/// let p = Port::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(format!("{p}"), "p0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Port(u32::try_from(index).expect("port index fits in u32"))
+    }
+
+    /// Returns the index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for Port {
+    fn from(v: u32) -> Self {
+        Port(v)
+    }
+}
+
+/// Index of an undirected edge (`0..m`).
+///
+/// Both directions of an edge share the same `EdgeId`; this is what lets the
+/// lower-bound experiments classify a transmitted message as intra-clique or
+/// inter-clique (§4.1) and detect bridge crossings (§5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index fits in u32"))
+    }
+
+    /// Returns the index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 42, 1 << 20] {
+            assert_eq!(NodeId::new(i).index(), i);
+            assert_eq!(NodeId::new(i).raw() as usize, i);
+        }
+    }
+
+    #[test]
+    fn port_round_trip() {
+        for i in [0usize, 1, 7, 65_535] {
+            assert_eq!(Port::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_round_trip() {
+        assert_eq!(EdgeId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(Port::new(0) < Port::new(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(5).to_string(), "v5");
+        assert_eq!(Port::new(2).to_string(), "p2");
+        assert_eq!(EdgeId::new(8).to_string(), "e8");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index fits in u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

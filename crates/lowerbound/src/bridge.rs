@@ -1,0 +1,298 @@
+//! The §5 dumbbell / bridge-crossing experiment (Theorem 28): knowledge
+//! of `n` is critical.
+//!
+//! Two copies of a base graph are joined by two bridges. We run the
+//! election on the dumbbell while every node is *parameterized with the
+//! wrong network size* (its own side's `n₀`), emulating "n is not known":
+//! each side behaves exactly as it would on its own copy until a message
+//! crosses a bridge. The observable predictions:
+//!
+//! * with the wrong `n`, both sides elect their own leader (2 leaders)
+//!   whenever no bridge crossing happens early — the algorithm *fails*;
+//! * with the correct `n = 2n₀`, a unique leader emerges;
+//! * forcing success without knowing `n` requires discovering a bridge,
+//!   which costs `Ω(m)` messages (bridge crossing, Lemma 30).
+
+use std::sync::Arc;
+
+use welle_congest::{Engine, EngineConfig, RunOutcome, TransmitEvent, TransmitObserver};
+use welle_graph::gen::Dumbbell;
+use welle_graph::EdgeId;
+
+use welle_core::{ElectionConfig, ElectionNode, Params, SyncMode, SIGNAL_ADVANCE};
+
+/// Observer counting bridge crossings.
+#[derive(Clone, Debug)]
+pub struct BridgeObserver {
+    bridges: [EdgeId; 2],
+    /// Messages transmitted before the first bridge crossing.
+    pub messages_before_crossing: Option<u64>,
+    /// Total bridge crossings.
+    pub crossings: u64,
+    total: u64,
+}
+
+impl BridgeObserver {
+    /// Creates an observer for the given dumbbell.
+    pub fn new(db: &Dumbbell) -> Self {
+        BridgeObserver {
+            bridges: db.bridges(),
+            messages_before_crossing: None,
+            crossings: 0,
+            total: 0,
+        }
+    }
+
+    /// Total messages observed.
+    pub fn total_messages(&self) -> u64 {
+        self.total
+    }
+}
+
+impl TransmitObserver for BridgeObserver {
+    fn on_transmit(&mut self, ev: &TransmitEvent) {
+        self.total += 1;
+        if self.bridges.contains(&ev.edge) {
+            self.crossings += 1;
+            if self.messages_before_crossing.is_none() {
+                self.messages_before_crossing = Some(self.total - 1);
+            }
+        }
+    }
+}
+
+/// Result of one dumbbell election run.
+#[derive(Clone, Debug)]
+pub struct DumbbellReport {
+    /// Leaders found on the left side.
+    pub left_leaders: usize,
+    /// Leaders found on the right side.
+    pub right_leaders: usize,
+    /// Messages before the first bridge crossing (`None`: never crossed).
+    pub messages_before_crossing: Option<u64>,
+    /// Total bridge crossings.
+    pub crossings: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Edges of the dumbbell (for `Ω(m)` comparisons).
+    pub m: usize,
+}
+
+impl DumbbellReport {
+    /// Total number of leaders.
+    pub fn leaders(&self) -> usize {
+        self.left_leaders + self.right_leaders
+    }
+
+    /// The failure the theorem predicts: both sides elected.
+    pub fn split_brain(&self) -> bool {
+        self.left_leaders >= 1 && self.right_leaders >= 1
+    }
+}
+
+/// Runs the election on a dumbbell with every node believing the network
+/// has `believed_n` nodes (pass `db.half_n()` to model "n unknown /
+/// wrongly assumed", or `db.graph().n()` for the truthful control).
+pub fn run_dumbbell_election(
+    db: &Dumbbell,
+    cfg: &ElectionConfig,
+    believed_n: usize,
+    seed: u64,
+) -> DumbbellReport {
+    let graph = Arc::new(db.graph().clone());
+    let params = Arc::new(Params::derive(believed_n, *cfg));
+    let engine_cfg = EngineConfig {
+        seed,
+        // The believed-n bandwidth budget would misfire on the true n;
+        // disable enforcement for this experiment.
+        bandwidth_bits: None,
+    };
+    let mut engine = Engine::from_fn(Arc::clone(&graph), engine_cfg, |_| {
+        ElectionNode::new(Arc::clone(&params))
+    });
+    let mut obs = BridgeObserver::new(db);
+
+    match cfg.sync {
+        SyncMode::FixedT => {
+            engine.run_observed(params.round_limit(), &mut obs);
+        }
+        SyncMode::Adaptive => {
+            let mut signals = 0u64;
+            loop {
+                let out = engine.run_observed(u64::MAX / 4, &mut obs);
+                match out {
+                    RunOutcome::Quiescent { .. } if signals < params.total_segments() => {
+                        engine.signal(SIGNAL_ADVANCE);
+                        signals += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    let mut left = 0usize;
+    let mut right = 0usize;
+    for (i, node) in engine.nodes().iter().enumerate() {
+        if node.decision() == Some(welle_core::Decision::Leader) {
+            if i < db.half_n() {
+                left += 1;
+            } else {
+                right += 1;
+            }
+        }
+    }
+    DumbbellReport {
+        left_leaders: left,
+        right_leaders: right,
+        messages_before_crossing: obs.messages_before_crossing,
+        crossings: obs.crossings,
+        messages: obs.total_messages(),
+        m: graph.m(),
+    }
+}
+
+/// The two *open graphs* of a dumbbell (each side without the bridges),
+/// re-indexed to `0..half_n`. This is the censored world of Theorem 28's
+/// proof: an execution in which no message ever crosses a bridge is
+/// indistinguishable from running on these graphs separately.
+pub fn open_halves(db: &Dumbbell) -> (welle_graph::Graph, welle_graph::Graph) {
+    let g = db.graph();
+    let n0 = db.half_n();
+    let mut left = welle_graph::GraphBuilder::new(n0);
+    let mut right = welle_graph::GraphBuilder::new(n0);
+    for (e, u, v) in g.edges() {
+        if db.is_bridge(e) {
+            continue;
+        }
+        if db.is_left(u) {
+            left.add_edge(u.index(), v.index()).expect("left edge valid");
+        } else {
+            right
+                .add_edge(u.index() - n0, v.index() - n0)
+                .expect("right edge valid");
+        }
+    }
+    (
+        left.build().expect("left half nonempty"),
+        right.build().expect("right half nonempty"),
+    )
+}
+
+/// A minimal-budget election configuration for the §5 experiments: a
+/// single phase of 1-step walks (cliques mix in `O(1)`), large messages.
+/// On clique bases this sends `o(m)` messages, which is exactly the
+/// regime where Theorem 28 bites.
+pub fn frugal_clique_config(believed_n: usize) -> ElectionConfig {
+    let mut cfg = ElectionConfig::tuned_for_simulation(believed_n);
+    cfg.fixed_walk_len = Some(1);
+    cfg.msg_size = welle_core::MsgSizeMode::Large;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use welle_core::{run_election, Decision};
+    use welle_graph::gen;
+
+    fn clique_dumbbell(k: usize, seed: u64) -> Dumbbell {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = gen::clique(k).unwrap();
+        gen::dumbbell(&base, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn censored_world_elects_two_leaders() {
+        // Theorem 28's hypothetical: with no bridge crossing, each side's
+        // execution equals a standalone run on its open graph — and each
+        // standalone run elects its own leader.
+        let db = clique_dumbbell(128, 3);
+        let (left, right) = open_halves(&db);
+        assert_eq!(left.n(), 128);
+        assert_eq!(right.n(), 128);
+        let cfg = frugal_clique_config(128);
+        let mut total_leaders = 0;
+        for (side, g) in [("left", left), ("right", right)] {
+            let report = run_election(&std::sync::Arc::new(g), &cfg, 7);
+            assert!(report.is_success(), "{side} half fails: {:?}", report.leaders);
+            total_leaders += report.leaders.len();
+        }
+        assert_eq!(total_leaders, 2, "two independent leaders");
+    }
+
+    #[test]
+    fn bridge_crossing_costs_on_the_order_of_m() {
+        // Lemma 30 flavour: the first bridge crossing does not come before
+        // a constant fraction of m messages in expectation (bridges are 2
+        // uniformly-placed edges among m).
+        let db = clique_dumbbell(96, 5);
+        let m = db.graph().m() as u64;
+        let cfg = frugal_clique_config(96);
+        let mut costs = Vec::new();
+        for seed in 0..4u64 {
+            let report = run_dumbbell_election(&db, &cfg, 96, seed);
+            if let Some(c) = report.messages_before_crossing {
+                costs.push(c);
+            } else {
+                costs.push(report.messages); // never crossed: even stronger
+            }
+        }
+        let mean = costs.iter().sum::<u64>() as f64 / costs.len() as f64;
+        assert!(
+            mean as u64 >= m / 50,
+            "first crossing after only {mean} messages; m = {m}"
+        );
+    }
+
+    #[test]
+    fn frugal_budget_is_sublinear_in_m_and_splits_brains() {
+        // On a dense base the whole (wrong-n) election spends o(m)
+        // messages per side, so with constant probability no bridge is
+        // crossed and both sides elect. Seeds fixed to a split outcome.
+        let db = clique_dumbbell(192, 9);
+        let m = db.graph().m() as u64;
+        let cfg = frugal_clique_config(192);
+        let mut split_seen = false;
+        for seed in 0..3u64 {
+            let report = run_dumbbell_election(&db, &cfg, 192, seed);
+            if report.crossings == 0 {
+                assert!(
+                    report.split_brain(),
+                    "no crossing must imply two leaders: {report:?}"
+                );
+                assert!(
+                    report.messages < m,
+                    "frugal run must be sublinear in m: {} vs {m}",
+                    report.messages
+                );
+                split_seen = true;
+            }
+        }
+        assert!(split_seen, "no seed produced a crossing-free run");
+    }
+
+    #[test]
+    fn correct_n_on_sparse_base_elects_one_leader() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = gen::random_regular(48, 4, &mut rng).unwrap();
+        let db = gen::dumbbell(&base, &mut rng).unwrap();
+        let cfg = ElectionConfig::tuned_for_simulation(db.graph().n());
+        let report = run_dumbbell_election(&db, &cfg, db.graph().n(), 5);
+        assert_eq!(report.leaders(), 1, "{report:?}");
+    }
+
+    #[test]
+    fn decision_accessor_consistency() {
+        // Sanity: leaders counted by side match the node decisions.
+        let db = clique_dumbbell(64, 2);
+        let cfg = frugal_clique_config(64);
+        let report = run_dumbbell_election(&db, &cfg, 64, 1);
+        let _ = Decision::Leader; // silence unused import in cfg(test)
+        assert_eq!(
+            report.leaders(),
+            report.left_leaders + report.right_leaders
+        );
+    }
+}

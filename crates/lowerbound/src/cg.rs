@@ -1,0 +1,250 @@
+//! The clique communication graph `CG` of §4.1 and its event tracking.
+//!
+//! `CG` has one vertex per clique of the lower-bound graph; a (directed,
+//! deduplicated-to-simple) edge appears when the first message crosses the
+//! corresponding inter-clique edge of `G`. The lower-bound proof hinges on
+//! these facts, which the observer lets us *measure*:
+//!
+//! * Lemma 18 — before its first inter-clique send, a clique has spent
+//!   `Ω(n^{2ε})` messages in expectation;
+//! * Lemma 19 — an algorithm sending `M·n^{2ε}` messages creates only
+//!   `O(M)` CG edges;
+//! * Lemma 20 — connected components of `CG` rarely merge (event `Disj`).
+
+use welle_congest::{TransmitEvent, TransmitObserver};
+use welle_graph::gen::CliqueOfCliques;
+
+/// Union–find over cliques (components of `CG`).
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Returns `true` if the two were in different components.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb as u32;
+        true
+    }
+}
+
+/// Observer reconstructing the clique communication graph from the
+/// transmission stream.
+#[derive(Clone, Debug)]
+pub struct CliqueCommObserver {
+    clique_of: Vec<u32>,
+    num_cliques: usize,
+    /// Messages sent by each clique's nodes so far.
+    msgs_by_clique: Vec<u64>,
+    /// Messages a clique had sent when it first sent inter-clique
+    /// (`None` until it does) — the Lemma 18 statistic.
+    first_contact_cost: Vec<Option<u64>>,
+    /// Simple-graph CG edges seen (unordered clique pairs).
+    cg_edges: std::collections::HashSet<(u32, u32)>,
+    /// Rounds at which each CG edge appeared.
+    edge_rounds: Vec<u64>,
+    components: UnionFind,
+    merges: u64,
+    touched_cliques: std::collections::HashSet<u32>,
+}
+
+impl CliqueCommObserver {
+    /// Creates an observer for the given lower-bound graph.
+    pub fn new(lb: &CliqueOfCliques) -> Self {
+        let n = lb.graph().n();
+        let clique_of: Vec<u32> = (0..n)
+            .map(|u| lb.clique_of(welle_graph::NodeId::new(u)) as u32)
+            .collect();
+        let num_cliques = lb.num_cliques();
+        CliqueCommObserver {
+            clique_of,
+            num_cliques,
+            msgs_by_clique: vec![0; num_cliques],
+            first_contact_cost: vec![None; num_cliques],
+            cg_edges: std::collections::HashSet::new(),
+            edge_rounds: Vec::new(),
+            components: UnionFind::new(num_cliques),
+            merges: 0,
+            touched_cliques: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of distinct CG edges created (Lemma 19's `O(M)`).
+    pub fn cg_edge_count(&self) -> usize {
+        self.cg_edges.len()
+    }
+
+    /// Rounds at which CG edges appeared, in order.
+    pub fn edge_rounds(&self) -> &[u64] {
+        &self.edge_rounds
+    }
+
+    /// Component merges beyond the first edge of each component — a
+    /// *violation count* for event `Disj` would require spontaneity
+    /// bookkeeping; this reports how many unions actually joined two
+    /// previously-nontrivial components.
+    pub fn component_merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Messages clique `c` had sent when it first messaged another clique
+    /// (Lemma 18's `Msgs(C)`); `None` if it never did.
+    pub fn first_contact_cost(&self, c: usize) -> Option<u64> {
+        self.first_contact_cost[c]
+    }
+
+    /// All first-contact costs that materialized.
+    pub fn first_contact_costs(&self) -> Vec<u64> {
+        self.first_contact_cost.iter().flatten().copied().collect()
+    }
+
+    /// Total messages sent by nodes of clique `c`.
+    pub fn messages_by_clique(&self, c: usize) -> u64 {
+        self.msgs_by_clique[c]
+    }
+
+    /// Cliques that sent or received at least one inter-clique message.
+    pub fn touched_cliques(&self) -> usize {
+        self.touched_cliques.len()
+    }
+
+    /// Number of cliques in the underlying graph.
+    pub fn num_cliques(&self) -> usize {
+        self.num_cliques
+    }
+}
+
+impl TransmitObserver for CliqueCommObserver {
+    fn on_transmit(&mut self, ev: &TransmitEvent) {
+        let cf = self.clique_of[ev.from.index()];
+        let ct = self.clique_of[ev.to.index()];
+        self.msgs_by_clique[cf as usize] += 1;
+        if cf == ct {
+            return;
+        }
+        // First inter-clique send of this clique: record Lemma 18 cost.
+        if self.first_contact_cost[cf as usize].is_none() {
+            self.first_contact_cost[cf as usize] = Some(self.msgs_by_clique[cf as usize]);
+        }
+        self.touched_cliques.insert(cf);
+        self.touched_cliques.insert(ct);
+        let key = (cf.min(ct), cf.max(ct));
+        if self.cg_edges.insert(key) {
+            self.edge_rounds.push(ev.round);
+            // A union that joins two components which both already had
+            // edges is a `Disj`-style merge.
+            let a_trivial = !self
+                .cg_edges
+                .iter()
+                .any(|&(x, y)| (x == key.0 || y == key.0) && (x, y) != key);
+            let b_trivial = !self
+                .cg_edges
+                .iter()
+                .any(|&(x, y)| (x == key.1 || y == key.1) && (x, y) != key);
+            let joined = self.components.union(key.0 as usize, key.1 as usize);
+            if joined && !a_trivial && !b_trivial {
+                self.merges += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use welle_graph::gen::{CliqueOfCliques, CliqueOfCliquesParams};
+    use welle_graph::{EdgeId, NodeId, Port};
+
+    fn lb() -> CliqueOfCliques {
+        let mut rng = StdRng::seed_from_u64(5);
+        CliqueOfCliques::build(CliqueOfCliquesParams::new(300, 0.3), &mut rng).unwrap()
+    }
+
+    fn event(from: usize, to: usize, round: u64) -> TransmitEvent {
+        TransmitEvent {
+            round,
+            from: NodeId::new(from),
+            from_port: Port::new(0),
+            to: NodeId::new(to),
+            to_port: Port::new(0),
+            edge: EdgeId::new(0),
+            bits: 8,
+        }
+    }
+
+    #[test]
+    fn intra_clique_traffic_creates_no_edges() {
+        let lb = lb();
+        let mut obs = CliqueCommObserver::new(&lb);
+        let s = lb.clique_size();
+        for r in 0..10 {
+            obs.on_transmit(&event(0, 1, r)); // same clique (first s nodes)
+        }
+        let _ = s;
+        assert_eq!(obs.cg_edge_count(), 0);
+        assert_eq!(obs.messages_by_clique(0), 10);
+        assert_eq!(obs.first_contact_cost(0), None);
+    }
+
+    #[test]
+    fn first_contact_cost_counts_prior_messages() {
+        let lb = lb();
+        let s = lb.clique_size();
+        let mut obs = CliqueCommObserver::new(&lb);
+        // 7 intra-clique messages, then one inter-clique (clique 0 → 1).
+        for r in 0..7 {
+            obs.on_transmit(&event(0, 1, r));
+        }
+        obs.on_transmit(&event(0, s, 7));
+        assert_eq!(obs.first_contact_cost(0), Some(8));
+        assert_eq!(obs.cg_edge_count(), 1);
+        assert_eq!(obs.touched_cliques(), 2);
+    }
+
+    #[test]
+    fn duplicate_inter_clique_edges_are_simple() {
+        let lb = lb();
+        let s = lb.clique_size();
+        let mut obs = CliqueCommObserver::new(&lb);
+        obs.on_transmit(&event(0, s, 1));
+        obs.on_transmit(&event(s, 0, 2));
+        obs.on_transmit(&event(0, s, 3));
+        assert_eq!(obs.cg_edge_count(), 1);
+        assert_eq!(obs.edge_rounds(), &[1]);
+    }
+
+    #[test]
+    fn union_find_components() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+}

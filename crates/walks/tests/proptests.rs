@@ -1,0 +1,94 @@
+//! Property-based tests for the walk machinery.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use welle_graph::{analysis, gen, NodeId};
+use welle_walks::{
+    endpoint_distribution, lazy_step, run_walk_fleet, split_lazy, Hop, ReverseRoute, TrailStore,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_conserves_arbitrary_counts(count in 0u32..5_000, degree in 1usize..64, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = split_lazy(count, degree, &mut rng);
+        let moved: u32 = s.moves.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(s.stay + moved, count);
+        let mut ports: Vec<usize> = s.moves.iter().map(|&(p, _)| p.index()).collect();
+        ports.dedup();
+        prop_assert_eq!(ports.len(), s.moves.len(), "ports are distinct and sorted");
+    }
+
+    #[test]
+    fn distribution_mass_is_preserved(n in 4usize..32, steps in 0u32..50, start_seed in any::<u64>()) {
+        let g = gen::ring(n.max(3)).unwrap();
+        let start = NodeId::new((start_seed % n as u64) as usize % g.n());
+        let d = endpoint_distribution(&g, start, steps);
+        let mass: f64 = d.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn stationary_is_fixed_point_on_random_graphs(seed in any::<u64>(), n in 6usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(n, 0.5, &mut rng).unwrap();
+        let pi = analysis::stationary_distribution(&g).unwrap();
+        let mut next = vec![0.0; g.n()];
+        lazy_step(&g, &pi, &mut next);
+        for (a, b) in pi.iter().zip(&next) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trail_reverse_route_terminates(steps in 1u32..40, seed in any::<u64>()) {
+        // Build a random single-walk trail: at each step, stay or come
+        // from a random port; reverse routing must reach Origin.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = TrailStore::new();
+        let t = store.enter_epoch(9, 0, steps).unwrap();
+        t.record_in(0, Hop::Origin);
+        for s in 1..=steps {
+            let hop = if rand::RngExt::random_bool(&mut rng, 0.5) {
+                Hop::Stay
+            } else {
+                Hop::Via(welle_graph::Port::new(rand::RngExt::random_range(&mut rng, 0..4usize)))
+            };
+            t.record_in(s, hop);
+        }
+        // From any step, the route either forwards over an edge or lands
+        // at the origin — never Broken.
+        let trail = store.current(9).unwrap();
+        for s in 0..=steps {
+            prop_assert_ne!(trail.reverse_route(s), ReverseRoute::Broken);
+        }
+    }
+
+    #[test]
+    fn walk_fleet_conservation_on_random_graphs(seed in any::<u64>(), n in 8usize..24, walks in 1u32..200, len in 1u32..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(gen::gnp_connected(n, 0.4, &mut rng).unwrap());
+        let origin = (seed % n as u64) as usize;
+        let (counts, reported) = run_walk_fleet(&g, origin, walks, len, seed ^ 7);
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(total, walks, "every walk ends exactly once");
+        prop_assert_eq!(reported, walks, "every endpoint reports back");
+    }
+
+    #[test]
+    fn endpoints_stay_within_walk_radius(seed in any::<u64>(), len in 1u32..6) {
+        let g = Arc::new(gen::torus2d(6, 6).unwrap());
+        let (counts, _) = run_walk_fleet(&g, 0, 50, len, seed);
+        let dist = analysis::bfs(&g, NodeId::new(0));
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                prop_assert!(dist[i] <= len, "endpoint {i} at distance {} > {len}", dist[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Theorem 28 live: without knowing `n`, the election split-brains.
+//!
+//! Two *clique* halves joined by two bridges, and a frugal single-phase
+//! configuration (cliques mix in one step): the election's message budget
+//! is `o(m)`, so with constant probability no message ever crosses a
+//! bridge — each side runs a complete, self-consistent election and
+//! **both** elect a leader. With a sparse base instead, the walk traffic
+//! alone exceeds `m`, bridges are crossed immediately and the sides
+//! merge: the theorem is precisely about the message budget versus `m`.
+//!
+//! ```sh
+//! cargo run --release --example dumbbell_unknown_n
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::graph::gen;
+use welle::lowerbound::bridge::{frugal_clique_config, run_dumbbell_election};
+
+fn main() {
+    let k = 192;
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = gen::clique(k).expect("clique base");
+    let db = gen::dumbbell(&base, &mut rng).expect("dumbbell");
+    let m = db.graph().m();
+
+    println!("dumbbell: 2 x K_{k}, m = {m}, 2 bridges\n");
+    println!(
+        "{:>14} {:>6} {:>8} {:>8} {:>8} {:>12} {:>8} {:>10}",
+        "believed n", "seed", "leadersL", "leadersR", "total", "messages", "msgs/m", "crossings"
+    );
+
+    let mut splits = 0;
+    for seed in 0..5u64 {
+        let cfg = frugal_clique_config(k);
+        let report = run_dumbbell_election(&db, &cfg, k, seed);
+        if report.split_brain() {
+            splits += 1;
+        }
+        println!(
+            "{:>14} {:>6} {:>8} {:>8} {:>8} {:>12} {:>8.2} {:>10}",
+            "half (wrong)",
+            seed,
+            report.left_leaders,
+            report.right_leaders,
+            report.leaders(),
+            report.messages,
+            report.messages as f64 / m as f64,
+            report.crossings,
+        );
+    }
+
+    // Control: a sparse base with the regular (guess-and-double) budget —
+    // the walk traffic exceeds m, bridges are crossed immediately and the
+    // sides merge into one election. (A frugal single-phase run with the
+    // true n would still split: length-1 walks cannot bridge cliques —
+    // that failure is about t_mix, not about n.)
+    let base = gen::random_regular(64, 4, &mut rng).expect("sparse base");
+    let sparse = gen::dumbbell(&base, &mut rng).expect("sparse dumbbell");
+    let cfg = welle::core::ElectionConfig::tuned_for_simulation(sparse.graph().n());
+    let report = run_dumbbell_election(&sparse, &cfg, sparse.graph().n(), 1);
+    println!(
+        "{:>14} {:>6} {:>8} {:>8} {:>8} {:>12} {:>8.2} {:>10}",
+        "sparse, full n",
+        1,
+        report.left_leaders,
+        report.right_leaders,
+        report.leaders(),
+        report.messages,
+        report.messages as f64 / sparse.graph().m() as f64,
+        report.crossings,
+    );
+    assert_eq!(report.leaders(), 1, "full-budget control must merge");
+
+    println!(
+        "\nsplit-brain in {splits}/5 wrong-n runs: a sublinear-in-m election
+cannot afford to find the two bridges, so each side is
+indistinguishable from a standalone network (Theorem 28). Forcing
+correctness without knowing n requires crossing a bridge — an
+Ω(m)-message event (Lemma 30)."
+    );
+    assert!(splits >= 1, "expected at least one split-brain run");
+}

@@ -1,0 +1,47 @@
+//! The headline result in action: message complexity on expanders scales
+//! like `O(√n · polylog n)` — far below the `Ω(m)` of flooding.
+//!
+//! Sweeps n over expanders, printing our algorithm vs the flood-max
+//! baseline side by side.
+//!
+//! ```sh
+//! cargo run --release --example expander_campaign
+//! ```
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::core::{baselines::run_flood_max, run_election, ElectionConfig};
+use welle::graph::gen;
+
+fn main() {
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "n", "m", "welle msgs", "flood msgs", "welle/√n", "flood/m"
+    );
+    for &n in &[128usize, 256, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let graph = Arc::new(gen::random_regular(n, 4, &mut rng).expect("generation succeeds"));
+        let cfg = ElectionConfig::tuned_for_simulation(n);
+
+        let ours = run_election(&graph, &cfg, 42);
+        let flood = run_flood_max(&graph, 42);
+
+        assert!(ours.is_success(), "n={n}: {:?}", ours.leaders);
+        assert!(flood.is_success());
+
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>10.1} {:>10.1}",
+            n,
+            graph.m(),
+            ours.messages,
+            flood.messages,
+            ours.messages as f64 / (n as f64).sqrt(),
+            flood.messages as f64 / graph.m() as f64,
+        );
+    }
+    println!(
+        "\nShape check: our column grows ~√n·polylog; flooding grows with m·D.\n\
+         On sparse expanders m = 2n, so the win appears as n grows."
+    );
+}

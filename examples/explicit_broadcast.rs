@@ -1,0 +1,45 @@
+//! Corollary 14: explicit election = implicit election + push–pull
+//! broadcast, and on well-connected graphs the broadcast is the dominant
+//! message cost — "the major communication cost ... comes from
+//! broadcasting the leader information ... rather than the process of
+//! electing a leader" (§6).
+//!
+//! ```sh
+//! cargo run --release --example explicit_broadcast
+//! ```
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::core::broadcast::run_explicit_election;
+use welle::core::ElectionConfig;
+use welle::graph::gen;
+
+fn main() {
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "n", "elect msgs", "bcast msgs", "total", "rounds"
+    );
+    for &n in &[256usize, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64 + 1);
+        let graph = Arc::new(gen::random_regular(n, 4, &mut rng).expect("expander"));
+        let cfg = ElectionConfig::tuned_for_simulation(n);
+        let report = run_explicit_election(&graph, &cfg, 100_000, 5);
+        let b = report.broadcast.expect("unique leader found");
+        assert!(report.is_success());
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>8}",
+            n,
+            report.election.messages,
+            b.messages,
+            report.total_messages(),
+            b.rounds
+        );
+    }
+    println!(
+        "\nThe broadcast stage costs Θ(n·log n/φ) messages — linear in n —
+while implicit election stays sublinear (√n·polylog): for large
+well-connected networks the broadcast dominates, which is why the
+implicit/explicit distinction matters (Cor. 14)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: elect a leader on a random-regular expander.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::core::{run_election, ElectionConfig};
+use welle::graph::gen;
+use welle::walks::{mixing_time, MixingOptions, StartPolicy};
+
+fn main() {
+    // 1. Build a well-connected network: a random 4-regular graph on 512
+    //    nodes (an expander w.h.p., mixing in O(log n) steps).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let graph = Arc::new(gen::random_regular(512, 4, &mut rng).expect("generation succeeds"));
+
+    // 2. Run the PODC 2018 election. Nodes know only n and their ports.
+    let cfg = ElectionConfig::tuned_for_simulation(graph.n());
+    let report = run_election(&graph, &cfg, 7);
+
+    // 3. Inspect the outcome.
+    println!("network        : n = {}, m = {}", report.n, report.m);
+    println!("contenders     : {}", report.contenders);
+    println!("leaders        : {:?}", report.leaders);
+    println!("leader id      : {:?}", report.leader_id);
+    println!("messages       : {}", report.messages);
+    println!("bits           : {}", report.bits);
+    println!("final walk len : {}", report.final_walk_len);
+    println!("epochs         : {}", report.epochs_used);
+
+    // 4. Compare the final guess-and-double walk length with the actual
+    //    mixing time (Lemma 3: the algorithm stops by O(t_mix)).
+    let tmix = mixing_time(
+        &graph,
+        MixingOptions {
+            horizon: 10_000,
+            starts: StartPolicy::Sample(16),
+        },
+    )
+    .expect("connected graph mixes");
+    println!("t_mix          : {tmix}");
+
+    assert!(report.is_success(), "expected exactly one leader");
+    println!("\nOK: unique leader elected.");
+}

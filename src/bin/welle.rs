@@ -1,0 +1,232 @@
+//! `welle` command-line runner: elect a leader on a generated topology
+//! and print the report, with optional baselines and explicit election.
+//!
+//! ```sh
+//! cargo run --release --bin welle -- expander 512 --seeds 5
+//! cargo run --release --bin welle -- hypercube 256 --large --fixed-t
+//! cargo run --release --bin welle -- ring 64 --baseline hs
+//! cargo run --release --bin welle -- clique 128 --explicit
+//! cargo run --release --bin welle -- lb 500 --eps 0.3
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
+use welle::core::broadcast::run_explicit_election;
+use welle::core::{run_election, ElectionConfig, MsgSizeMode, SyncMode};
+use welle::graph::{gen, Graph};
+use welle::walks::{mixing_time, MixingOptions, StartPolicy};
+
+struct Args {
+    family: String,
+    n: usize,
+    seed: u64,
+    seeds: usize,
+    eps: f64,
+    fixed_t: bool,
+    large: bool,
+    cap: Option<u32>,
+    explicit: bool,
+    baseline: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: welle <family> <n> [options]\n\
+     families: expander | hypercube | clique | torus | ring | gnp | lb\n\
+     options:\n\
+       --seed S        first seed (default 1)\n\
+       --seeds K       number of seeded runs (default 1)\n\
+       --eps E         epsilon for the lb family (default 0.3)\n\
+       --fixed-t       paper-faithful fixed-T schedule (default adaptive)\n\
+       --large         O(log^3 n) messages (default CONGEST)\n\
+       --cap L         walk-length cap\n\
+       --explicit      run explicit election (adds push-pull broadcast)\n\
+       --baseline B    also run a baseline: flood | hs | known-tmix"
+}
+
+fn parse() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        return Err(usage().to_string());
+    }
+    let mut args = Args {
+        family: argv[0].clone(),
+        n: argv[1].parse().map_err(|_| format!("bad n: {}", argv[1]))?,
+        seed: 1,
+        seeds: 1,
+        eps: 0.3,
+        fixed_t: false,
+        large: false,
+        cap: None,
+        explicit: false,
+        baseline: None,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).ok_or("--seed needs a value")?.parse().map_err(|_| "bad seed")?;
+            }
+            "--seeds" => {
+                i += 1;
+                args.seeds = argv.get(i).ok_or("--seeds needs a value")?.parse().map_err(|_| "bad seeds")?;
+            }
+            "--eps" => {
+                i += 1;
+                args.eps = argv.get(i).ok_or("--eps needs a value")?.parse().map_err(|_| "bad eps")?;
+            }
+            "--cap" => {
+                i += 1;
+                args.cap = Some(argv.get(i).ok_or("--cap needs a value")?.parse().map_err(|_| "bad cap")?);
+            }
+            "--baseline" => {
+                i += 1;
+                args.baseline = Some(argv.get(i).ok_or("--baseline needs a value")?.clone());
+            }
+            "--fixed-t" => args.fixed_t = true,
+            "--large" => args.large = true,
+            "--explicit" => args.explicit = true,
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn build_graph(args: &Args) -> Result<Arc<Graph>, String> {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF00D);
+    let g = match args.family.as_str() {
+        "expander" => gen::random_regular(args.n, 4, &mut rng),
+        "hypercube" => {
+            let dim = (args.n as f64).log2().round().max(1.0) as u32;
+            gen::hypercube(dim)
+        }
+        "clique" => gen::clique(args.n),
+        "torus" => {
+            let side = (args.n as f64).sqrt().round().max(3.0) as usize;
+            gen::torus2d(side, side)
+        }
+        "ring" => gen::ring(args.n),
+        "gnp" => {
+            let p = 2.0 * (args.n as f64).ln() / args.n as f64;
+            gen::gnp_connected(args.n, p, &mut rng)
+        }
+        "lb" => {
+            return gen::CliqueOfCliques::build(
+                gen::CliqueOfCliquesParams::new(args.n, args.eps),
+                &mut rng,
+            )
+            .map(|lb| Arc::new(lb.into_graph()))
+            .map_err(|e| e.to_string());
+        }
+        other => return Err(format!("unknown family {other}\n{}", usage())),
+    };
+    g.map(Arc::new).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match build_graph(&args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("graph: {} n={} m={}", args.family, graph.n(), graph.m());
+
+    let mut cfg = ElectionConfig::tuned_for_simulation(graph.n());
+    if args.fixed_t {
+        cfg.sync = SyncMode::FixedT;
+    }
+    if args.large {
+        cfg.msg_size = MsgSizeMode::Large;
+    }
+    if let Some(cap) = args.cap {
+        cfg.max_walk_len = Some(cap);
+    }
+
+    let mut ok = true;
+    for k in 0..args.seeds {
+        let seed = args.seed + k as u64;
+        if args.explicit {
+            let rep = run_explicit_election(&graph, &cfg, 10_000_000, seed);
+            println!(
+                "seed {seed}: leaders={:?} elect_msgs={} bcast_msgs={:?} success={}",
+                rep.election.leaders,
+                rep.election.messages,
+                rep.broadcast.map(|b| b.messages),
+                rep.is_success()
+            );
+            ok &= rep.is_success();
+        } else {
+            let rep = run_election(&graph, &cfg, seed);
+            println!(
+                "seed {seed}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
+                 rounds={} t_u={} epochs={} gave_up={}",
+                rep.leaders,
+                rep.leader_id,
+                rep.contenders,
+                rep.messages,
+                rep.bits,
+                rep.decided_round,
+                rep.final_walk_len,
+                rep.epochs_used,
+                rep.gave_up
+            );
+            ok &= rep.is_success();
+        }
+    }
+
+    match args.baseline.as_deref() {
+        Some("flood") => {
+            let b = run_flood_max(&graph, args.seed);
+            println!(
+                "baseline flood-max: leaders={:?} msgs={} rounds={}",
+                b.leaders, b.messages, b.rounds
+            );
+        }
+        Some("hs") => {
+            let b = run_hirschberg_sinclair(&graph, args.seed);
+            println!(
+                "baseline hirschberg-sinclair: leaders={:?} msgs={} rounds={}",
+                b.leaders, b.messages, b.rounds
+            );
+        }
+        Some("known-tmix") => {
+            match mixing_time(
+                &graph,
+                MixingOptions {
+                    horizon: 1_000_000,
+                    starts: StartPolicy::Sample(8),
+                },
+            ) {
+                Some(tmix) => {
+                    let b = run_known_tmix_election(&graph, &cfg, tmix, 2, args.seed);
+                    println!(
+                        "baseline known-tmix (t_mix={tmix}): leaders={:?} msgs={}",
+                        b.leaders, b.messages
+                    );
+                }
+                None => eprintln!("baseline known-tmix: graph did not mix within horizon"),
+            }
+        }
+        Some(other) => eprintln!("unknown baseline {other}"),
+        None => {}
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,35 @@
+//! `welle` — a full reproduction of *Leader Election in Well-Connected
+//! Graphs* (Gilbert, Robinson, Sourav; PODC 2018).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — port-numbered graphs, generators (expanders, hypercubes,
+//!   cliques, the §4.1 lower-bound construction, §5 dumbbells), and
+//!   conductance/spectral analysis,
+//! * [`congest`] — the synchronous CONGEST simulator,
+//! * [`walks`] — lazy random walks, mixing times, walk-trail routing,
+//! * [`core`] — the election algorithm, explicit election, baselines,
+//! * [`lowerbound`] — the §4/§5 lower-bound experiment machinery.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use welle::core::{run_election, ElectionConfig};
+//! use welle::graph::gen;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = Arc::new(gen::random_regular(512, 4, &mut rng).unwrap());
+//! let report = run_election(&g, &ElectionConfig::tuned_for_simulation(512), 1);
+//! assert!(report.is_success());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use welle_congest as congest;
+pub use welle_core as core;
+pub use welle_graph as graph;
+pub use welle_lowerbound as lowerbound;
+pub use welle_walks as walks;

@@ -1,0 +1,97 @@
+//! Cross-crate checks that the CONGEST simulator implements the paper's
+//! model on real generated topologies.
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::congest::testing::{BfsWave, FloodMax};
+use welle::congest::{Engine, EngineConfig, RecordingObserver, ThreadedEngine};
+use welle::graph::{analysis, gen, NodeId};
+
+#[test]
+fn bfs_wave_timing_matches_graph_distances_on_families() {
+    for g in [
+        Arc::new(gen::hypercube(6).unwrap()),
+        Arc::new(gen::torus2d(6, 7).unwrap()),
+        Arc::new(gen::binary_tree(63).unwrap()),
+    ] {
+        let root = 3usize;
+        let nodes = (0..g.n()).map(|i| BfsWave::new(i == root)).collect();
+        let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+        assert!(e.run(10_000).is_done());
+        let dist = analysis::bfs(&g, NodeId::new(root));
+        for (i, node) in e.nodes().iter().enumerate() {
+            assert_eq!(node.level(), Some(dist[i] as u64), "node {i}");
+        }
+    }
+}
+
+#[test]
+fn serial_and_threaded_engines_agree_on_expanders() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = Arc::new(gen::random_regular(64, 4, &mut rng).unwrap());
+    let cfg = EngineConfig {
+        seed: 5,
+        bandwidth_bits: None,
+    };
+    let mk = || (0..64).map(|i| FloodMax::new((i * 13 % 64) as u64)).collect::<Vec<_>>();
+    let mut serial = Engine::new(Arc::clone(&g), mk(), cfg);
+    let mut threaded = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, 4);
+    serial.run(100_000);
+    threaded.run(100_000);
+    assert_eq!(serial.metrics().messages, threaded.metrics().messages);
+    for (a, b) in serial.nodes().iter().zip(threaded.nodes()) {
+        assert_eq!(a.best(), b.best());
+    }
+}
+
+#[test]
+fn message_rounds_respect_edge_serialization() {
+    // On a star, the hub answering k leaves needs k rounds per leaf-edge
+    // at most 1 message per round; verify via the observer that no
+    // (edge, round, direction) pair repeats.
+    let g = Arc::new(gen::star(9).unwrap());
+    let nodes = (0..9).map(|i| FloodMax::new(i as u64)).collect();
+    let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+    let mut rec = RecordingObserver::default();
+    e.run_observed(10_000, &mut rec);
+    let mut seen = std::collections::HashSet::new();
+    for ev in &rec.events {
+        assert!(
+            seen.insert((ev.round, ev.from, ev.edge)),
+            "two messages on one directed edge in round {}",
+            ev.round
+        );
+    }
+}
+
+#[test]
+fn anonymous_ports_hide_neighbors() {
+    // Structural: reverse ports on shuffled graphs are consistent but
+    // asymmetric somewhere (a symmetric port numbering on an asymmetric
+    // graph is overwhelmingly unlikely after shuffling).
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = gen::random_regular(32, 3, &mut rng).unwrap();
+    let mut asymmetric = 0;
+    for u in g.nodes() {
+        for p in g.ports(u) {
+            let q = g.reverse_port(u, p);
+            if q != p {
+                asymmetric += 1;
+            }
+        }
+    }
+    assert!(asymmetric > 0, "port mappings should not be symmetric");
+}
+
+#[test]
+fn observer_totals_match_metrics_on_election() {
+    use welle::core::{run_election_observed, ElectionConfig};
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = Arc::new(gen::random_regular(64, 4, &mut rng).unwrap());
+    let cfg = ElectionConfig::tuned_for_simulation(64);
+    let mut count = 0u64;
+    let mut obs = |_ev: &welle::congest::TransmitEvent| count += 1;
+    let report = run_election_observed(&g, &cfg, 3, &mut obs);
+    assert_eq!(count, report.messages);
+}
