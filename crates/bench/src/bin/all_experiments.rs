@@ -4,10 +4,12 @@
 
 use welle_bench::experiments as ex;
 
+type ExperimentFn = fn(bool) -> Vec<welle_bench::Table>;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let start = std::time::Instant::now();
-    let runs: Vec<(&str, fn(bool) -> Vec<welle_bench::Table>)> = vec![
+    let runs: Vec<(&str, ExperimentFn)> = vec![
         ("e1_upper_bound", ex::e1_upper_bound::run),
         ("e2_contenders", ex::e2_contenders::run),
         ("e3_guess_double", ex::e3_guess_double::run),

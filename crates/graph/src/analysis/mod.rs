@@ -102,7 +102,7 @@ pub fn diameter_double_sweep(g: &Graph) -> Option<u32> {
         .iter()
         .enumerate()
         .max_by_key(|&(_, &d)| if d == UNREACHABLE { 0 } else { d })?;
-    if d0.iter().any(|&d| d == UNREACHABLE) {
+    if d0.contains(&UNREACHABLE) {
         return None;
     }
     let _ = dmax;

@@ -253,8 +253,8 @@ mod tests {
         let g = gen::star(5).unwrap();
         let pi = stationary_distribution(&g).unwrap();
         assert!((pi[0] - 4.0 / 8.0).abs() < 1e-12);
-        for v in 1..5 {
-            assert!((pi[v] - 1.0 / 8.0).abs() < 1e-12);
+        for &leaf in &pi[1..5] {
+            assert!((leaf - 1.0 / 8.0).abs() < 1e-12);
         }
         let total: f64 = pi.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);

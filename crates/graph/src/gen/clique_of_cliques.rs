@@ -128,14 +128,13 @@ impl CliqueOfCliques {
 
         // Intra-clique edges: complete graph within each clique, minus the
         // two edges pairing up the four external nodes (degree uniformity).
-        for c in 0..num_cliques {
+        for (c, ext) in external_of.iter().enumerate() {
             let base = c * s;
             for i in 0..s {
                 for j in (i + 1)..s {
                     b.add_edge(base + i, base + j)?;
                 }
             }
-            let ext = &external_of[c];
             let removed1 = b.remove_edge(ext[0], ext[1]);
             let removed2 = b.remove_edge(ext[2], ext[3]);
             debug_assert!(removed1 && removed2, "external pairing edges existed");

@@ -23,7 +23,7 @@ mod torus;
 pub use barbell::{barbell, lollipop};
 pub use basic::{binary_tree, clique, path, random_tree, ring, star};
 pub use circulant::circulant;
-pub use clique_of_cliques::{CliqueOfCliques, CliqueOfCliquesParams};
+pub use clique_of_cliques::{CliqueOfCliques, CliqueOfCliquesParams, SUPER_DEGREE};
 pub use dumbbell::{dumbbell, Dumbbell};
 pub use hypercube::hypercube;
 pub use random::{gnp, gnp_connected, random_regular};

@@ -260,12 +260,12 @@ impl Graph {
         let old_edge_ids = self.edge_ids.clone();
         // new_slot_of[old slot] -> new slot (global)
         let mut new_slot_of = vec![0usize; self.neighbors.len()];
-        for u in 0..n {
+        for (u, perm) in perms.iter().enumerate() {
             let base = self.offsets[u];
             let deg = self.offsets[u + 1] - base;
             for old_p in 0..deg {
                 // perm[old_p] = new port for the entry previously at old_p
-                new_slot_of[base + old_p] = base + perms[u][old_p];
+                new_slot_of[base + old_p] = base + perm[old_p];
             }
         }
         for (old_slot, &new_slot) in new_slot_of.iter().enumerate() {

@@ -188,6 +188,70 @@ proptest! {
     }
 
     #[test]
+    fn barbell_structure(k in 2usize..12) {
+        let g = gen::barbell(k).unwrap();
+        prop_assert_eq!(g.n(), 2 * k);
+        prop_assert_eq!(g.m(), k * (k - 1) + 1);
+        prop_assert!(analysis::is_connected(&g));
+        // The joining edge is the unique bridge (for k >= 3 the cliques
+        // themselves are 2-edge-connected; K_2 cliques are single edges,
+        // making every edge a bridge).
+        let bridges = analysis::bridges(&g);
+        if k >= 3 {
+            prop_assert_eq!(bridges.len(), 1);
+        } else {
+            prop_assert_eq!(bridges.len(), 3);
+        }
+        // Conductance of the clique/clique cut: 1 crossing edge over the
+        // volume of one side, vol = 2 * (k choose 2) + 1.
+        let left: Vec<bool> = (0..2 * k).map(|u| u < k).collect();
+        let phi = analysis::cut_conductance(&g, &left).unwrap();
+        let expect = 1.0 / (k * (k - 1) + 1) as f64;
+        prop_assert!((phi - expect).abs() < 1e-12, "phi {} expect {}", phi, expect);
+    }
+
+    #[test]
+    fn lollipop_structure(k in 2usize..10, tail in 1usize..8) {
+        let g = gen::lollipop(k, tail).unwrap();
+        prop_assert_eq!(g.n(), k + tail);
+        prop_assert_eq!(g.m(), k * (k - 1) / 2 + tail);
+        prop_assert!(analysis::is_connected(&g));
+        // Every tail edge is a bridge; for k >= 3 the clique contributes
+        // none.
+        if k >= 3 {
+            prop_assert_eq!(analysis::bridges(&g).len(), tail);
+        }
+    }
+
+    #[test]
+    fn clique_of_cliques_structure(seed in any::<u64>(), target_n in 60usize..240) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = gen::CliqueOfCliquesParams::new(target_n, 0.3);
+        let lb = gen::CliqueOfCliques::build(params, &mut rng).unwrap();
+        let s = lb.clique_size();
+        let nc = lb.num_cliques();
+        prop_assert!(s >= 4, "cliques must hold the 4-regular super-degree");
+        prop_assert!(nc >= 5);
+        let g = lb.graph();
+        // Figure 2 degree uniformity: every node has s-1 neighbours
+        // (two intra-clique edges removed per attached inter-clique edge).
+        prop_assert!(g.is_regular(s - 1), "expected ({} - 1)-regular", s);
+        prop_assert_eq!(g.n(), s * nc);
+        prop_assert!(analysis::is_connected(g));
+        // The super-graph is 4-regular on nc nodes, so exactly 2·nc
+        // inter-clique edges survive in the expansion.
+        prop_assert_eq!(lb.super_graph().n(), nc);
+        prop_assert!(lb.super_graph().is_regular(gen::SUPER_DEGREE));
+        prop_assert_eq!(lb.inter_edge_count(), 2 * nc);
+        // clique_of partitions the nodes into nc groups of exactly s.
+        let mut sizes = vec![0usize; nc];
+        for u in g.nodes() {
+            sizes[lb.clique_of(u)] += 1;
+        }
+        prop_assert!(sizes.iter().all(|&c| c == s), "sizes {:?}", sizes);
+    }
+
+    #[test]
     fn directed_index_is_a_bijection((n, edges) in arb_edge_list(10)) {
         let g = from_edges(n, &edges).unwrap();
         let mut seen = vec![false; g.directed_edge_count()];

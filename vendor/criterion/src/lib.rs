@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the welle benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock harness: each benchmark is warmed up briefly, then
+//! timed over `sample_size` samples whose per-sample iteration count is
+//! chosen so a sample takes roughly `measurement_time / sample_size`.
+//! Median and min/max per-iteration times are printed to stdout.
+//!
+//! There is no statistical analysis, plotting, or baseline storage —
+//! record numbers by hand (see `BENCH_NOTES.md` at the workspace root).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep full `cargo bench` sweeps fast; these are deliberately
+        // smaller than upstream criterion's defaults.
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies a substring filter: only benchmark ids containing
+    /// `filter` run.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        let warm_up_time = self.warm_up_time;
+        self.run_one(&id.to_string(), sample_size, measurement_time, warm_up_time, &mut f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        f: &mut F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run once (at least), repeatedly up to the warm-up
+        // budget, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        while warm_iters == 0 || warm_start.elapsed() < warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            warm_iters += 1;
+            if bencher.elapsed > measurement_time {
+                break; // a single call already exceeds the budget
+            }
+        }
+        let per_call = bencher.elapsed.max(Duration::from_nanos(1));
+
+        // Measurement: `sample_size` samples, each one call of the
+        // closure (the closure itself loops via `Bencher::iter`).
+        let budget_per_sample = measurement_time / sample_size.max(1) as u32;
+        let _ = budget_per_sample; // reserved for adaptive iteration counts
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+            }
+            if per_call > measurement_time {
+                break; // expensive benchmark: settle for fewer samples
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        if samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let warm_up_time = self.criterion.warm_up_time;
+        self.criterion
+            .run_one(&full, sample_size, measurement_time, warm_up_time, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark, passing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Timer handed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        // Cheap routines are batched so timer overhead stays small;
+        // expensive ones (> ~10ms) run exactly once per sample.
+        let reps = if once < Duration::from_micros(10) {
+            1_000
+        } else if once < Duration::from_millis(10) {
+            10
+        } else {
+            1
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed() + once;
+        self.iters += reps + 1;
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; a trailing free argument
+            // acts as a substring filter like upstream criterion.
+            let filter = std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with("--"));
+            let mut c = match filter {
+                Some(f) => $crate::Criterion::default().with_filter(f),
+                None => $crate::Criterion::default(),
+            };
+            $( $group(&mut c); )+
+        }
+    };
+}

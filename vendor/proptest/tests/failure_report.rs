@@ -1,0 +1,39 @@
+//! The stand-in has no shrinking, so its failure report must carry the
+//! concrete generated inputs — otherwise multi-input property failures
+//! are unreproducible.
+
+use proptest::prelude::*;
+
+// Deliberately not `#[test]`: invoked via catch_unwind below.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    fn always_fails(x in 10u32..20, flag in any::<bool>()) {
+        let _ = flag;
+        prop_assert!(x >= 20, "x = {} is in range", x);
+    }
+}
+
+#[test]
+fn failure_message_includes_inputs_and_case() {
+    let err = std::panic::catch_unwind(always_fails).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic payload is a formatted String");
+    assert!(
+        msg.contains("inputs (x, flag) = ("),
+        "missing inputs in: {msg}"
+    );
+    assert!(msg.contains("case 1/4"), "missing case index in: {msg}");
+    assert!(msg.contains("is in range"), "missing message in: {msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn passing_properties_stay_silent(x in 0u32..10, v in proptest::collection::vec(any::<u64>(), 0..4)) {
+        prop_assert!(x < 10);
+        prop_assert!(v.len() < 4);
+    }
+}
