@@ -1,6 +1,6 @@
-//! **E12 — the price of not knowing t_mix (vs Kutten et al. [25]).**
-//! Three runs per size: (a) guess-and-double (this paper), (b) the [25]
-//! baseline with a conservatively known `2·t_mix`, (c) the [25] baseline
+//! **E12 — the price of not knowing t_mix (vs Kutten et al. \[25\]).**
+//! Three runs per size: (a) guess-and-double (this paper), (b) the \[25\]
+//! baseline with a conservatively known `2·t_mix`, (c) the \[25\] baseline
 //! handed the *oracle* max stopping length of run (a). Two repeated
 //! findings: guess-and-double stops below `t_mix` (the properties
 //! certify early), so conservative knowledge of `t_mix` is *not*

@@ -101,21 +101,29 @@ impl RunOutcome {
 /// ```
 #[derive(Debug)]
 pub struct Engine<P: Protocol> {
-    graph: Arc<Graph>,
-    cfg: EngineConfig,
-    nodes: Vec<P>,
-    rngs: Vec<StdRng>,
-    queues: EdgeQueues<P::Msg>,
-    inboxes: Vec<Vec<(Port, P::Msg)>>,
-    inbox_active: Vec<u32>,
-    inbox_flag: Vec<bool>,
-    wakeups: BinaryHeap<Reverse<(u64, u32)>>,
-    round: u64,
-    started: bool,
-    done_flags: Vec<bool>,
-    done_count: usize,
-    metrics: Metrics,
-    scratch_sends: Vec<(Port, P::Msg)>,
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) rngs: Vec<StdRng>,
+    pub(crate) queues: EdgeQueues<P::Msg>,
+    pub(crate) inboxes: Vec<Vec<(Port, P::Msg)>>,
+    pub(crate) inbox_active: Vec<u32>,
+    pub(crate) inbox_flag: Vec<bool>,
+    pub(crate) wakeups: BinaryHeap<Reverse<(u64, u32)>>,
+    pub(crate) round: u64,
+    pub(crate) started: bool,
+    pub(crate) done_flags: Vec<bool>,
+    pub(crate) done_count: usize,
+    pub(crate) metrics: Metrics,
+    /// Reused per-round delivery batch (`(directed_index, msg)` pairs).
+    pub(crate) deliveries: Vec<(u32, P::Msg)>,
+    /// Sends of the current round, in send order, awaiting transmission.
+    /// Uncongested messages go straight from here to the target inbox;
+    /// only backlogged edges touch the arena in `queues`.
+    pub(crate) pending: Vec<(u32, P::Msg)>,
+    /// Round at which each directed edge last carried a message; the
+    /// CONGEST one-per-round discipline without per-edge clearing.
+    pub(crate) last_carried: Vec<u64>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -143,7 +151,9 @@ impl<P: Protocol> Engine<P> {
             done_flags: vec![false; n],
             done_count: 0,
             metrics: Metrics::new(n),
-            scratch_sends: Vec::new(),
+            deliveries: Vec::new(),
+            pending: Vec::new(),
+            last_carried: vec![u64::MAX; graph.directed_edge_count()],
             graph,
             cfg,
             nodes,
@@ -176,9 +186,10 @@ impl<P: Protocol> Engine<P> {
         &self.metrics
     }
 
-    /// Messages queued on edges, not yet transmitted.
+    /// Messages queued for transmission (current-round sends plus edge
+    /// backlog), not yet delivered.
     pub fn in_flight(&self) -> usize {
-        self.queues.in_flight()
+        self.pending.len() + self.queues.in_flight()
     }
 
     /// Immutable view of the protocol instances.
@@ -198,8 +209,25 @@ impl<P: Protocol> Engine<P> {
 
     /// Runs until [`RunOutcome::Done`], [`RunOutcome::Quiescent`], or the
     /// round limit.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use welle_congest::{Engine, EngineConfig, testing::FloodMax};
+    /// use welle_graph::gen;
+    ///
+    /// // A minimal election: flood the maximum id on a small expander.
+    /// let g = Arc::new(gen::hypercube(3).unwrap());
+    /// let nodes = (0..g.n()).map(|i| FloodMax::new(i as u64)).collect();
+    /// let mut engine = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+    /// let outcome = engine.run(1_000);
+    /// assert!(outcome.is_done());
+    /// // Exactly one node still believes its own id is the largest.
+    /// assert_eq!(engine.nodes().iter().filter(|n| n.is_leader()).count(), 1);
+    /// ```
     pub fn run(&mut self, round_limit: u64) -> RunOutcome {
-        self.run_observed(round_limit, &mut NoopObserver)
+        // Concrete `NoopObserver` so the per-message observer call (and
+        // the `TransmitEvent` it would be fed) compiles away entirely.
+        self.run_core(round_limit, &mut NoopObserver, |_| false)
     }
 
     /// Like [`Engine::run`] but notifying `obs` of every transmission.
@@ -208,7 +236,7 @@ impl<P: Protocol> Engine<P> {
         round_limit: u64,
         obs: &mut dyn TransmitObserver,
     ) -> RunOutcome {
-        self.run_until_observed(round_limit, obs, |_| false)
+        self.run_core(round_limit, obs, |_| false)
     }
 
     /// Runs until done/quiescent/limit or until `stop` returns true
@@ -218,7 +246,7 @@ impl<P: Protocol> Engine<P> {
         round_limit: u64,
         stop: impl FnMut(&Engine<P>) -> bool,
     ) -> RunOutcome {
-        self.run_until_observed(round_limit, &mut NoopObserver, stop)
+        self.run_core(round_limit, &mut NoopObserver, stop)
     }
 
     /// The most general run loop: observer plus stop predicate.
@@ -226,11 +254,23 @@ impl<P: Protocol> Engine<P> {
         &mut self,
         round_limit: u64,
         obs: &mut dyn TransmitObserver,
+        stop: impl FnMut(&Engine<P>) -> bool,
+    ) -> RunOutcome {
+        self.run_core(round_limit, obs, stop)
+    }
+
+    /// Monomorphic run loop; `O = NoopObserver` specializes to zero
+    /// observer overhead, `O = dyn TransmitObserver` serves the public
+    /// observed entry points.
+    pub(crate) fn run_core<O: TransmitObserver + ?Sized>(
+        &mut self,
+        round_limit: u64,
+        obs: &mut O,
         mut stop: impl FnMut(&Engine<P>) -> bool,
     ) -> RunOutcome {
         loop {
             if self.started {
-                let idle = self.inbox_active.is_empty() && self.queues.in_flight() == 0;
+                let idle = self.inbox_active.is_empty() && self.in_flight() == 0;
                 if idle {
                     if self.done_count == self.nodes.len() {
                         return RunOutcome::Done { round: self.round };
@@ -249,7 +289,7 @@ impl<P: Protocol> Engine<P> {
             if self.round >= round_limit {
                 return RunOutcome::RoundLimit { round: self.round };
             }
-            self.step_observed(obs);
+            self.step_core(obs);
             if stop(self) {
                 return RunOutcome::Stopped { round: self.round };
             }
@@ -258,11 +298,16 @@ impl<P: Protocol> Engine<P> {
 
     /// Simulates exactly one round (start-up on the first call).
     pub fn step(&mut self) {
-        self.step_observed(&mut NoopObserver);
+        self.step_core(&mut NoopObserver);
     }
 
     /// One round with an observer.
     pub fn step_observed(&mut self, obs: &mut dyn TransmitObserver) {
+        self.step_core(obs);
+    }
+
+    /// Monomorphic single-round step (see [`Engine::run_core`] for why).
+    fn step_core<O: TransmitObserver + ?Sized>(&mut self, obs: &mut O) {
         let mut any_activity = false;
         if !self.started {
             self.started = true;
@@ -273,16 +318,32 @@ impl<P: Protocol> Engine<P> {
             any_activity = true;
         } else {
             let mut active: Vec<u32> = std::mem::take(&mut self.inbox_active);
+            // `inbox_flag` doubles as the membership set: delivery already
+            // guards `inbox_active` with it, so guarding due wake-ups the
+            // same way keeps `active` duplicate-free without a dedup pass.
             while let Some(&Reverse((r, node))) = self.wakeups.peek() {
                 if r <= self.round {
                     self.wakeups.pop();
-                    active.push(node);
+                    if !self.inbox_flag[node as usize] {
+                        self.inbox_flag[node as usize] = true;
+                        active.push(node);
+                    }
                 } else {
                     break;
                 }
             }
-            active.sort_unstable();
-            active.dedup();
+            // Deterministic node order: a linear flag scan when dense
+            // (cheaper and cache-friendly), a sort when sparse.
+            if active.len() >= self.nodes.len() / 8 {
+                active.clear();
+                for (i, flag) in self.inbox_flag.iter().enumerate() {
+                    if *flag {
+                        active.push(i as u32);
+                    }
+                }
+            } else {
+                active.sort_unstable();
+            }
             for &node in &active {
                 let i = node as usize;
                 self.inbox_flag[i] = false;
@@ -295,39 +356,42 @@ impl<P: Protocol> Engine<P> {
         }
 
         // Transmission phase: one message per active directed edge.
-        let graph = &self.graph;
-        let round = self.round;
-        let metrics = &mut self.metrics;
-        let inboxes = &mut self.inboxes;
-        let inbox_flag = &mut self.inbox_flag;
-        let inbox_active = &mut self.inbox_active;
-        let mut transmitted = false;
-        self.queues.transmit(graph, |u, p, msg| {
-            let v = graph.neighbor(u, p);
-            let q = graph.reverse_port(u, p);
-            let e = graph.edge_id(u, p);
-            let bits = msg.bit_size();
-            metrics.messages += 1;
-            metrics.bits += bits as u64;
-            obs.on_transmit(&TransmitEvent {
-                round,
-                from: u,
-                from_port: p,
-                to: v,
-                to_port: q,
-                edge: e,
-                bits,
-            });
-            inboxes[v.index()].push((q, msg));
-            if !inbox_flag[v.index()] {
-                inbox_flag[v.index()] = true;
-                inbox_active.push(v.raw());
+        // Backlogged edges deliver their queue head first; then the
+        // round's fresh sends either deliver directly (edge idle this
+        // round — the common, allocation-free case) or join the backlog.
+        let mut batch = std::mem::take(&mut self.deliveries);
+        self.queues.transmit_into(&mut batch);
+        let mut pending = std::mem::take(&mut self.pending);
+        let transmitted = !batch.is_empty() || !pending.is_empty();
+        {
+            let mut tx = Transmitter::new(
+                &self.graph,
+                &mut self.queues,
+                &mut self.last_carried,
+                self.round,
+            );
+            let inboxes = &mut self.inboxes;
+            let inbox_flag = &mut self.inbox_flag;
+            let inbox_active = &mut self.inbox_active;
+            let mut sink = |v: NodeId, q: Port, msg: P::Msg| {
+                inboxes[v.index()].push((q, msg));
+                if !inbox_flag[v.index()] {
+                    inbox_flag[v.index()] = true;
+                    inbox_active.push(v.raw());
+                }
+            };
+            for (dir, msg) in batch.drain(..) {
+                tx.deliver_head(dir as usize, msg, obs, &mut sink);
             }
-            transmitted = true;
-        });
-        metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.queues.max_backlog());
+            for (dir, msg) in pending.drain(..) {
+                tx.offer(dir as usize, msg, obs, &mut sink);
+            }
+            tx.finish(&mut self.metrics);
+        }
+        self.deliveries = batch;
+        self.pending = pending;
         if any_activity || transmitted {
-            metrics.active_rounds += 1;
+            self.metrics.active_rounds += 1;
         }
         self.round += 1;
     }
@@ -343,17 +407,24 @@ impl<P: Protocol> Engine<P> {
     }
 
     fn run_callback(&mut self, i: usize, inbox: &mut Vec<(Port, P::Msg)>, kind: CallKind) {
-        let degree = self.graph.degree(NodeId::new(i));
+        let u = NodeId::new(i);
+        let degree = self.graph.degree(u);
         let n = self.graph.n();
-        let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut wake = None;
+        let sent;
         {
+            // Sends go straight into `pending` as `(directed_index, msg)`
+            // — `Context::send` resolves the index from `dir_base`, so no
+            // per-message recomputation or intermediate buffer.
             let mut ctx = Context {
                 round: self.round,
                 n,
                 degree,
+                dir_base: self.graph.directed_base(u) as u32,
+                budget: self.cfg.bandwidth_bits,
+                sent: 0,
                 rng: &mut self.rngs[i],
-                sends: &mut sends,
+                sends: &mut self.pending,
                 wake: &mut wake,
             };
             match kind {
@@ -361,20 +432,11 @@ impl<P: Protocol> Engine<P> {
                 CallKind::Round => self.nodes[i].on_round(&mut ctx, inbox),
                 CallKind::Signal(s) => self.nodes[i].on_signal(&mut ctx, s),
             }
+            sent = ctx.sent;
         }
-        let u = NodeId::new(i);
-        for (port, msg) in sends.drain(..) {
-            if let Some(budget) = self.cfg.bandwidth_bits {
-                let sz = msg.bit_size();
-                assert!(
-                    sz <= budget,
-                    "protocol bug: message of {sz} bits exceeds the {budget}-bit CONGEST budget"
-                );
-            }
-            self.metrics.sent_by_node[i] += 1;
-            self.queues.push(&self.graph, u, port, msg);
+        if sent > 0 {
+            self.metrics.sent_by_node[i] += sent as u64;
         }
-        self.scratch_sends = sends;
         if let Some(r) = wake {
             self.wakeups.push(Reverse((r.max(self.round + 1), i as u32)));
         }
@@ -395,6 +457,107 @@ enum CallKind {
     Start,
     Round,
     Signal(Signal),
+}
+
+/// The per-message transmission discipline shared by both executors:
+/// the CONGEST one-message-per-directed-edge rule (`last_carried` round
+/// stamps), the backlog arena, and per-message metrics/observer events.
+/// Executor-specific delivery — which inbox structure receives the
+/// message — is injected as the `sink` argument of each call, so the
+/// engines cannot drift apart on the discipline itself (their
+/// executions must stay bit-identical).
+pub(crate) struct Transmitter<'a, M> {
+    graph: &'a Graph,
+    queues: &'a mut EdgeQueues<M>,
+    last_carried: &'a mut [u64],
+    round: u64,
+    delivered_msgs: u64,
+    delivered_bits: u64,
+    max_backlog_seen: usize,
+}
+
+impl<'a, M: Payload> Transmitter<'a, M> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        queues: &'a mut EdgeQueues<M>,
+        last_carried: &'a mut [u64],
+        round: u64,
+    ) -> Self {
+        Transmitter {
+            graph,
+            queues,
+            last_carried,
+            round,
+            delivered_msgs: 0,
+            delivered_bits: 0,
+            max_backlog_seen: 0,
+        }
+    }
+
+    /// Delivers the head of a backlogged edge — it is entitled to this
+    /// round by construction (one pop per active edge).
+    #[inline]
+    pub(crate) fn deliver_head<O: TransmitObserver + ?Sized>(
+        &mut self,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        self.last_carried[dir] = self.round;
+        self.deliver(dir, msg, obs, sink);
+    }
+
+    /// Offers a fresh send: delivers directly when the edge is idle
+    /// this round, otherwise joins the backlog (FIFO).
+    #[inline]
+    pub(crate) fn offer<O: TransmitObserver + ?Sized>(
+        &mut self,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        if self.last_carried[dir] == self.round {
+            let len = self.queues.push_dir(dir, msg);
+            // `+ 1` counts the message that already crossed this round.
+            self.max_backlog_seen = self.max_backlog_seen.max(len + 1);
+        } else {
+            self.last_carried[dir] = self.round;
+            self.deliver(dir, msg, obs, sink);
+        }
+    }
+
+    #[inline]
+    fn deliver<O: TransmitObserver + ?Sized>(
+        &mut self,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        let info = self.graph.directed_info(dir);
+        let bits = msg.bit_size();
+        self.delivered_msgs += 1;
+        self.delivered_bits += bits as u64;
+        obs.on_transmit(&TransmitEvent {
+            round: self.round,
+            from: info.src,
+            from_port: info.src_port,
+            to: info.dst,
+            to_port: info.dst_port,
+            edge: info.edge,
+            bits,
+        });
+        sink(info.dst, info.dst_port, msg);
+    }
+
+    /// Folds the accumulated counters into `metrics`.
+    pub(crate) fn finish(self, metrics: &mut Metrics) {
+        metrics.messages += self.delivered_msgs;
+        metrics.bits += self.delivered_bits;
+        metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.max_backlog_seen);
+    }
 }
 
 /// Derives a node's private RNG from the master seed (SplitMix64-style

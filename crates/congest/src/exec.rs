@@ -1,0 +1,160 @@
+//! A single driving API over both executors.
+//!
+//! High-level drivers (election runners, experiment harnesses) are
+//! written once against [`Executor`] and run unchanged on the
+//! event-driven [`crate::Engine`] or the dense sharded
+//! [`crate::ThreadedEngine`] — the two produce identical executions for
+//! protocols honouring the [`crate::Protocol`] no-op contract, so the
+//! choice is purely a performance trade-off (idle-round skipping versus
+//! parallel protocol phases).
+
+use std::sync::Arc;
+
+use welle_graph::Graph;
+
+use crate::engine::{Engine, RunOutcome};
+use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
+use crate::protocol::{Protocol, Signal};
+use crate::threaded::ThreadedEngine;
+
+/// Common interface of the CONGEST executors.
+///
+/// Everything a driver needs: run rounds (optionally observed),
+/// broadcast signals between runs, and inspect the outcome.
+pub trait Executor<P: Protocol> {
+    /// The simulated network.
+    fn graph(&self) -> &Arc<Graph>;
+
+    /// Current round.
+    fn round(&self) -> u64;
+
+    /// Traffic metrics accumulated so far.
+    fn metrics(&self) -> &Metrics;
+
+    /// Immutable view of the protocol instances.
+    fn nodes(&self) -> &[P];
+
+    /// Messages queued for transmission (current-round sends plus edge
+    /// backlog), not yet delivered.
+    fn in_flight(&self) -> usize;
+
+    /// Runs until done/quiescent/limit, notifying `obs` of every
+    /// transmission; see [`Engine::run`] for the semantics.
+    fn run_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+    ) -> RunOutcome;
+
+    /// Broadcasts a control signal to every node (see
+    /// [`crate::Protocol::on_signal`]).
+    fn signal(&mut self, signal: Signal);
+
+    /// Runs until done/quiescent/limit with no observer.
+    fn run(&mut self, round_limit: u64) -> RunOutcome {
+        self.run_observed(round_limit, &mut NoopObserver)
+    }
+}
+
+impl<P: Protocol> Executor<P> for Engine<P> {
+    fn graph(&self) -> &Arc<Graph> {
+        Engine::graph(self)
+    }
+
+    fn round(&self) -> u64 {
+        Engine::round(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Engine::metrics(self)
+    }
+
+    fn nodes(&self) -> &[P] {
+        Engine::nodes(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        Engine::in_flight(self)
+    }
+
+    fn run_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+    ) -> RunOutcome {
+        Engine::run_observed(self, round_limit, obs)
+    }
+
+    fn signal(&mut self, signal: Signal) {
+        Engine::signal(self, signal)
+    }
+
+    fn run(&mut self, round_limit: u64) -> RunOutcome {
+        Engine::run(self, round_limit)
+    }
+}
+
+impl<P: Protocol> Executor<P> for ThreadedEngine<P> {
+    fn graph(&self) -> &Arc<Graph> {
+        ThreadedEngine::graph(self)
+    }
+
+    fn round(&self) -> u64 {
+        ThreadedEngine::round(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        ThreadedEngine::metrics(self)
+    }
+
+    fn nodes(&self) -> &[P] {
+        ThreadedEngine::nodes(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        ThreadedEngine::in_flight(self)
+    }
+
+    fn run_observed(
+        &mut self,
+        round_limit: u64,
+        obs: &mut dyn TransmitObserver,
+    ) -> RunOutcome {
+        ThreadedEngine::run_observed(self, round_limit, obs)
+    }
+
+    fn signal(&mut self, signal: Signal) {
+        ThreadedEngine::signal(self, signal)
+    }
+
+    fn run(&mut self, round_limit: u64) -> RunOutcome {
+        ThreadedEngine::run(self, round_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::testing::FloodMax;
+    use welle_graph::gen;
+
+    /// A driver written once against the trait.
+    fn drive<E: Executor<FloodMax>>(e: &mut E) -> (u64, u64) {
+        let out = e.run(10_000);
+        assert!(out.is_done());
+        (e.metrics().messages, e.round())
+    }
+
+    #[test]
+    fn both_executors_serve_the_same_driver() {
+        let g = Arc::new(gen::hypercube(5).unwrap());
+        let mk = || (0..g.n()).map(|i| FloodMax::new(i as u64)).collect::<Vec<_>>();
+        let mut serial = Engine::new(Arc::clone(&g), mk(), EngineConfig::default());
+        let mut threaded =
+            ThreadedEngine::new(Arc::clone(&g), mk(), EngineConfig::default(), 3);
+        assert_eq!(drive(&mut serial), drive(&mut threaded));
+        assert_eq!(Executor::graph(&serial).n(), 32);
+        assert_eq!(Executor::in_flight(&serial), 0);
+    }
+}

@@ -13,9 +13,12 @@
 //! * per-node seeded randomness, so any run is a pure function of
 //!   `(graph, protocols, seed)`.
 //!
-//! Two executors share these semantics: the event-driven [`Engine`]
-//! (skips idle rounds in `O(1)` — essential for the paper's fixed-`T`
-//! schedules) and the dense multi-threaded [`ThreadedEngine`].
+//! Two executors share these semantics behind the [`Executor`] trait:
+//! the event-driven [`Engine`] (skips idle rounds in `O(1)` — essential
+//! for the paper's fixed-`T` schedules) and the sharded multi-threaded
+//! [`ThreadedEngine`]. Executions are bit-identical across the two (and
+//! across thread counts) for protocols honouring the [`Protocol`]
+//! no-op contract, so drivers choose purely on performance.
 //!
 //! # Example: flooding the maximum id
 //!
@@ -33,9 +36,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
+mod exec;
 mod message;
 mod metrics;
 mod protocol;
@@ -46,6 +50,7 @@ mod trace;
 pub mod testing;
 
 pub use engine::{Engine, EngineConfig, RunOutcome};
+pub use exec::Executor;
 pub use message::{bits_for, id_bits, Payload};
 pub use metrics::{Metrics, NoopObserver, RecordingObserver, TransmitEvent, TransmitObserver};
 pub use protocol::{Context, Protocol, Signal};

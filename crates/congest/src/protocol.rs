@@ -75,8 +75,17 @@ pub struct Context<'a, M> {
     pub(crate) round: u64,
     pub(crate) n: usize,
     pub(crate) degree: usize,
+    /// Directed index of this node's port 0; `send(p, ..)` resolves to
+    /// directed index `dir_base + p` without touching the graph.
+    pub(crate) dir_base: u32,
+    /// Per-message bit budget ([`crate::EngineConfig::bandwidth_bits`]).
+    pub(crate) budget: Option<usize>,
+    /// Messages sent through this context (read back by the engine for
+    /// per-node accounting).
+    pub(crate) sent: u32,
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) sends: &'a mut Vec<(Port, M)>,
+    /// The engine's transmission buffer: `(directed_index, message)`.
+    pub(crate) sends: &'a mut Vec<(u32, M)>,
     pub(crate) wake: &'a mut Option<u64>,
 }
 
@@ -102,25 +111,6 @@ impl<M> Context<'_, M> {
         self.rng
     }
 
-    /// Queues `msg` for transmission through `port`.
-    ///
-    /// Transmission respects the CONGEST discipline: one message per
-    /// directed edge per round, so bursts sent in the same round are
-    /// serialized over subsequent rounds (congestion).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `port >= degree` — sending through a non-existent port is
-    /// a protocol bug.
-    pub fn send(&mut self, port: Port, msg: M) {
-        assert!(
-            port.index() < self.degree,
-            "send through port {port} but node has degree {}",
-            self.degree
-        );
-        self.sends.push((port, msg));
-    }
-
     /// Requests a wake-up call no later than round `round` (the earliest
     /// requested wake-up wins). Used by clock-driven protocols to observe
     /// schedule boundaries without busy-waiting.
@@ -132,32 +122,76 @@ impl<M> Context<'_, M> {
     }
 }
 
+impl<M: Payload> Context<'_, M> {
+    /// Queues `msg` for transmission through `port`.
+    ///
+    /// Transmission respects the CONGEST discipline: one message per
+    /// directed edge per round, so bursts sent in the same round are
+    /// serialized over subsequent rounds (congestion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree` — sending through a non-existent port
+    /// is a protocol bug — or if the message exceeds the engine's
+    /// [`crate::EngineConfig::bandwidth_bits`] budget.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            port.index() < self.degree,
+            "send through port {port} but node has degree {}",
+            self.degree
+        );
+        if let Some(budget) = self.budget {
+            let sz = msg.bit_size();
+            assert!(
+                sz <= budget,
+                "protocol bug: message of {sz} bits exceeds the {budget}-bit CONGEST budget"
+            );
+        }
+        self.sent += 1;
+        self.sends.push((self.dir_base + port.raw(), msg));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    fn test_ctx<'a>(
+        degree: usize,
+        budget: Option<usize>,
+        rng: &'a mut StdRng,
+        sends: &'a mut Vec<(u32, u64)>,
+        wake: &'a mut Option<u64>,
+    ) -> Context<'a, u64> {
+        Context {
+            round: 3,
+            n: 10,
+            degree,
+            dir_base: 100,
+            budget,
+            sent: 0,
+            rng,
+            sends,
+            wake,
+        }
+    }
+
     #[test]
     fn context_accessors_and_effects() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sends: Vec<(Port, u64)> = Vec::new();
+        let mut sends: Vec<(u32, u64)> = Vec::new();
         let mut wake = None;
-        let mut ctx = Context {
-            round: 3,
-            n: 10,
-            degree: 2,
-            rng: &mut rng,
-            sends: &mut sends,
-            wake: &mut wake,
-        };
+        let mut ctx = test_ctx(2, None, &mut rng, &mut sends, &mut wake);
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.n(), 10);
         assert_eq!(ctx.degree(), 2);
         ctx.send(Port::new(1), 99);
+        assert_eq!(ctx.sent, 1);
         ctx.wake_at(10);
         ctx.wake_at(7);
         ctx.wake_at(12);
-        assert_eq!(sends, vec![(Port::new(1), 99)]);
+        assert_eq!(sends, vec![(101, 99)]);
         assert_eq!(wake, Some(7));
     }
 
@@ -165,16 +199,19 @@ mod tests {
     #[should_panic(expected = "degree")]
     fn sending_on_bad_port_panics() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sends: Vec<(Port, u64)> = Vec::new();
+        let mut sends: Vec<(u32, u64)> = Vec::new();
         let mut wake = None;
-        let mut ctx = Context {
-            round: 0,
-            n: 4,
-            degree: 1,
-            rng: &mut rng,
-            sends: &mut sends,
-            wake: &mut wake,
-        };
+        let mut ctx = test_ctx(1, None, &mut rng, &mut sends, &mut wake);
         ctx.send(Port::new(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST budget")]
+    fn sending_over_budget_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sends: Vec<(u32, u64)> = Vec::new();
+        let mut wake = None;
+        let mut ctx = test_ctx(1, Some(32), &mut rng, &mut sends, &mut wake);
+        ctx.send(Port::new(0), 5); // u64 payload claims 64 bits
     }
 }

@@ -1,93 +1,335 @@
-//! Dense, multi-threaded executor with identical semantics to
+//! Sharded, multi-threaded executor with identical semantics to
 //! [`crate::Engine`].
 //!
-//! Each round, *all* nodes are scanned (no event-driven skipping); the
-//! protocol phase is parallelized over contiguous node chunks with scoped
-//! threads. Per-node RNGs make the execution bit-identical to the serial
-//! engine for protocols that honour the [`crate::Protocol`] no-op contract.
-//! Use this engine when most nodes are active every round (dense floods);
-//! use [`crate::Engine`] for schedule-driven protocols with idle stretches.
+//! [`ThreadedEngine`] wraps an inner [`Engine`] and adds a parallel
+//! execution layer: the network is split into contiguous node shards,
+//! one per worker thread, and workers are spawned **once per run** and
+//! parked on a shared round barrier. Each parallel round costs two
+//! barrier crossings — a protocol phase over the shards, then a serial
+//! merge + transmit phase on the driving thread — instead of the
+//! thread-spawn-per-round of the previous implementation.
+//!
+//! Rounds whose protocol phase is too sparse to amortize a barrier
+//! crossing run inline on the driving thread (see
+//! [`ThreadedEngine::set_inline_cutoff`]); on single-core hosts, where
+//! the barrier can never pay off, the engine delegates whole runs to
+//! the inner serial engine. All paths execute the same algorithm in
+//! the same order: leader identities, message counts, and metrics are
+//! bit-identical across thread counts and to the serial engine, for
+//! protocols that honour the [`crate::Protocol`] no-op contract.
 
-use std::sync::Arc;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::DerefMut;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 use rand::rngs::StdRng;
 use welle_graph::{Graph, NodeId, Port};
 
-use crate::engine::{node_rng, EngineConfig, RunOutcome};
-use crate::message::Payload;
-use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
-use crate::protocol::{Context, Protocol};
-use crate::queues::EdgeQueues;
+use crate::engine::{Engine, EngineConfig, RunOutcome, Transmitter};
+use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
+use crate::protocol::{Context, Protocol, Signal};
 
-/// Multi-threaded dense executor. See the module docs for the trade-offs
-/// versus [`crate::Engine`].
-#[derive(Debug)]
-pub struct ThreadedEngine<P: Protocol> {
-    graph: Arc<Graph>,
-    cfg: EngineConfig,
-    threads: usize,
+/// Worker command: simulate one round (`on_round` phase).
+const CMD_ROUND: u8 = 0;
+/// Worker command: run the start-up round (`on_start` phase).
+const CMD_START: u8 = 1;
+/// Worker command: leave the worker loop (end of the run call).
+const CMD_EXIT: u8 = 2;
+
+/// Default per-shard callback-count cutoff below which a round's
+/// protocol phase runs inline on the driving thread: two barrier
+/// crossings cost more than a few dozen cheap callbacks, so sparse
+/// rounds (drain tails, wake-up ticks) skip the hand-off and the
+/// workers stay parked.
+const INLINE_WORK_PER_SHARD: usize = 64;
+
+/// One worker's contiguous slice of the network:
+/// nodes `base..base + nodes.len()`.
+struct Shard<P: Protocol> {
+    base: usize,
     nodes: Vec<P>,
     rngs: Vec<StdRng>,
-    queues: EdgeQueues<P::Msg>,
     inboxes: Vec<Vec<(Port, P::Msg)>>,
-    outboxes: Vec<Vec<(Port, P::Msg)>>,
-    wake_by_node: Vec<Option<u64>>,
-    round: u64,
-    started: bool,
-    metrics: Metrics,
+    /// Pending wake-ups as `(round, local index)`; exact multiset
+    /// semantics, matching the serial engine's heap.
+    wakeups: BinaryHeap<Reverse<(u64, u32)>>,
+    done_flags: Vec<bool>,
+    done_count: usize,
+    /// Local indices with a nonempty inbox, filled by the merge phase.
+    active: Vec<u32>,
+    /// Membership flags for `active`/`todo` (the serial engine's
+    /// `inbox_flag`): keeps them duplicate-free without a dedup pass.
+    flags: Vec<bool>,
+    /// Sends of the last protocol phase: `(directed_index, msg)`, in
+    /// node (= send) order.
+    outbox: Vec<(u32, P::Msg)>,
+    /// Per-node send counts of the last phase, `(local index, count)`.
+    sent_log: Vec<(u32, u32)>,
+    /// Earliest pending wake after the last protocol phase.
+    next_wake: Option<u64>,
+    /// Whether any protocol callback ran in the last phase.
+    ran: bool,
+    todo: Vec<u32>,
+}
+
+impl<P: Protocol> Shard<P> {
+    /// Runs the protocol phase of one round on this shard's nodes.
+    fn run_phase(
+        &mut self,
+        graph: &Graph,
+        n_total: usize,
+        budget: Option<usize>,
+        starting: bool,
+        round: u64,
+    ) {
+        debug_assert!(self.outbox.is_empty());
+        if starting {
+            self.ran = !self.nodes.is_empty();
+            for local in 0..self.nodes.len() {
+                self.call(graph, n_total, budget, round, local, true);
+            }
+        } else {
+            let mut todo = std::mem::take(&mut self.todo);
+            todo.clear();
+            todo.append(&mut self.active);
+            while let Some(&Reverse((r, local))) = self.wakeups.peek() {
+                if r <= round {
+                    self.wakeups.pop();
+                    if !self.flags[local as usize] {
+                        self.flags[local as usize] = true;
+                        todo.push(local);
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Deterministic local order: linear flag scan when dense,
+            // sort when sparse (mirrors the serial engine).
+            if todo.len() >= self.nodes.len() / 8 {
+                todo.clear();
+                for (local, flag) in self.flags.iter().enumerate() {
+                    if *flag {
+                        todo.push(local as u32);
+                    }
+                }
+            } else {
+                todo.sort_unstable();
+            }
+            self.ran = !todo.is_empty();
+            for &local in &todo {
+                self.flags[local as usize] = false;
+                self.call(graph, n_total, budget, round, local as usize, false);
+            }
+            self.todo = todo;
+        }
+        self.next_wake = self.wakeups.peek().map(|&Reverse((r, _))| r);
+    }
+
+    fn call(
+        &mut self,
+        graph: &Graph,
+        n_total: usize,
+        budget: Option<usize>,
+        round: u64,
+        local: usize,
+        starting: bool,
+    ) {
+        let u = NodeId::new(self.base + local);
+        let mut wake = None;
+        let sent;
+        {
+            let mut ctx = Context {
+                round,
+                n: n_total,
+                degree: graph.degree(u),
+                dir_base: graph.directed_base(u) as u32,
+                budget,
+                sent: 0,
+                rng: &mut self.rngs[local],
+                sends: &mut self.outbox,
+                wake: &mut wake,
+            };
+            if starting {
+                self.nodes[local].on_start(&mut ctx);
+            } else {
+                let mut inbox = std::mem::take(&mut self.inboxes[local]);
+                self.nodes[local].on_round(&mut ctx, &mut inbox);
+                inbox.clear();
+                self.inboxes[local] = inbox; // recycle the allocation
+            }
+            sent = ctx.sent;
+        }
+        if sent > 0 {
+            self.sent_log.push((local as u32, sent));
+        }
+        if let Some(r) = wake {
+            self.wakeups
+                .push(Reverse((r.max(round + 1), local as u32)));
+        }
+        let done_now = self.nodes[local].is_done();
+        if done_now != self.done_flags[local] {
+            self.done_flags[local] = done_now;
+            if done_now {
+                self.done_count += 1;
+            } else {
+                self.done_count -= 1;
+            }
+        }
+    }
+}
+
+/// Aggregates the driving thread reads back after each merge phase.
+struct RoundAgg {
+    inbox_total: usize,
+    done_total: usize,
+    min_wake: Option<u64>,
+    /// Total pending wake-up entries across shards (due or not).
+    wake_entries: usize,
+}
+
+/// The executor-specific delivery sink for [`Transmitter`]: routes a
+/// delivered message to the owning shard's inbox and maintains the
+/// shard's active list (and the driver's nonempty-inbox count).
+fn shard_sink<'v, 's, P: Protocol>(
+    views: &'v mut [&'s mut Shard<P>],
+    shard_len: usize,
+    inbox_total: &'v mut usize,
+) -> impl FnMut(NodeId, Port, P::Msg) + use<'v, 's, P> {
+    move |v, q, msg| {
+        let shard = &mut *views[v.index() / shard_len];
+        let local = v.index() - shard.base;
+        shard.inboxes[local].push((q, msg));
+        if !shard.flags[local] {
+            shard.flags[local] = true;
+            shard.active.push(local as u32);
+            *inbox_total += 1;
+        }
+    }
+}
+
+/// Releases barrier-parked workers if the driving thread unwinds
+/// mid-run (e.g. an observer panic in the merge phase): every worker
+/// is parked on the round barrier between rounds, so one `EXIT` + wait
+/// lets them all leave before `thread::scope` joins.
+struct ExitGuard<'a> {
+    cmd: &'a AtomicU8,
+    barrier: &'a Barrier,
+}
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        self.cmd.store(CMD_EXIT, Ordering::SeqCst);
+        self.barrier.wait();
+    }
+}
+
+/// Sharded multi-threaded executor. See the module docs for the
+/// trade-offs versus [`crate::Engine`].
+#[derive(Debug)]
+pub struct ThreadedEngine<P: Protocol> {
+    inner: Engine<P>,
+    threads: usize,
+    /// See [`ThreadedEngine::set_inline_cutoff`].
+    inline_cutoff: usize,
 }
 
 impl<P: Protocol> ThreadedEngine<P> {
     /// Creates a threaded engine with `threads` worker threads
-    /// (`threads = 1` degenerates to a dense serial engine).
+    /// (`threads = 1` delegates runs to the serial engine inline).
+    ///
+    /// Node RNGs are derived once here — not per round — so repeated
+    /// `run` calls continue the same random streams.
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != graph.n()` or `threads == 0`.
     pub fn new(graph: Arc<Graph>, nodes: Vec<P>, cfg: EngineConfig, threads: usize) -> Self {
-        assert_eq!(nodes.len(), graph.n(), "one protocol per node");
         assert!(threads > 0, "need at least one worker thread");
-        let n = graph.n();
         ThreadedEngine {
-            rngs: (0..n).map(|i| node_rng(cfg.seed, i)).collect(),
-            queues: EdgeQueues::new(graph.directed_edge_count()),
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            outboxes: (0..n).map(|_| Vec::new()).collect(),
-            wake_by_node: vec![None; n],
-            round: 0,
-            started: false,
-            metrics: Metrics::new(n),
-            graph,
-            cfg,
+            inner: Engine::new(graph, nodes, cfg),
             threads,
-            nodes,
+            // A machine with a single hardware thread gains nothing from
+            // handing work to workers — run everything inline there.
+            inline_cutoff: match std::thread::available_parallelism() {
+                Ok(p) if p.get() > 1 => INLINE_WORK_PER_SHARD,
+                _ => usize::MAX,
+            },
         }
+    }
+
+    /// Creates a threaded engine with protocols built per node index.
+    pub fn from_fn(
+        graph: Arc<Graph>,
+        cfg: EngineConfig,
+        threads: usize,
+        mut make: impl FnMut(usize) -> P,
+    ) -> Self {
+        let nodes = (0..graph.n()).map(&mut make).collect();
+        ThreadedEngine::new(graph, nodes, cfg, threads)
+    }
+
+    /// Overrides the per-shard callback-count cutoff below which a
+    /// round's protocol phase runs inline on the driving thread instead
+    /// of crossing the round barrier. `0` forces every round through the
+    /// workers; `usize::MAX` keeps whole runs inline. The default is
+    /// tuned automatically (and is `usize::MAX` on single-core hosts,
+    /// where the barrier can never pay off). Execution results are
+    /// identical either way — this is purely a scheduling knob.
+    pub fn set_inline_cutoff(&mut self, per_shard: usize) {
+        self.inline_cutoff = per_shard;
     }
 
     /// Current round.
     pub fn round(&self) -> u64 {
-        self.round
+        self.inner.round()
+    }
+
+    /// The simulated network.
+    pub fn graph(&self) -> &Arc<Graph> {
+        self.inner.graph()
     }
 
     /// Traffic metrics accumulated so far.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.inner.metrics()
+    }
+
+    /// Messages queued for transmission, not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight()
     }
 
     /// Immutable view of the protocol instances.
     pub fn nodes(&self) -> &[P] {
-        &self.nodes
+        self.inner.nodes()
+    }
+
+    /// The protocol instance at node `i`.
+    pub fn node(&self, i: usize) -> &P {
+        self.inner.node(i)
     }
 
     /// Consumes the engine, returning the protocol instances.
     pub fn into_nodes(self) -> Vec<P> {
-        self.nodes
+        self.inner.into_nodes()
+    }
+
+    /// Broadcasts a control signal to every node (see
+    /// [`crate::Protocol::on_signal`]); resulting sends are transmitted
+    /// starting with the next round. Runs inline — callers signal
+    /// between `run` calls, never during one.
+    pub fn signal(&mut self, signal: Signal) {
+        self.inner.signal(signal);
     }
 
     /// Runs until done/quiescent or the round limit; see
     /// [`crate::Engine::run`] for the semantics.
     pub fn run(&mut self, round_limit: u64) -> RunOutcome {
-        self.run_observed(round_limit, &mut NoopObserver)
+        self.run_core(round_limit, &mut NoopObserver)
     }
 
     /// Like [`ThreadedEngine::run`] with a transmission observer.
@@ -96,158 +338,328 @@ impl<P: Protocol> ThreadedEngine<P> {
         round_limit: u64,
         obs: &mut dyn TransmitObserver,
     ) -> RunOutcome {
-        loop {
-            if self.started {
-                let idle = self.queues.in_flight() == 0
-                    && self.inboxes.iter().all(|i| i.is_empty());
-                if idle {
-                    if self.nodes.iter().all(|p| p.is_done()) {
-                        return RunOutcome::Done { round: self.round };
-                    }
-                    match self.wake_by_node.iter().flatten().min() {
-                        None => return RunOutcome::Quiescent { round: self.round },
-                        Some(&r) => {
-                            if r > self.round {
-                                self.round = r;
-                            }
-                        }
-                    }
-                }
-            }
-            if self.round >= round_limit {
-                return RunOutcome::RoundLimit { round: self.round };
-            }
-            self.step_observed(obs);
-        }
+        self.run_core(round_limit, obs)
     }
 
-    /// Simulates one round (start-up on the first call).
-    pub fn step_observed(&mut self, obs: &mut dyn TransmitObserver) {
-        let n = self.graph.n();
-        let starting = !self.started;
-        self.started = true;
-        let round = self.round;
-        let chunk = n.div_ceil(self.threads);
-        let graph = &self.graph;
-
-        // Protocol phase, parallel over contiguous chunks.
-        {
-            let node_chunks = self.nodes.chunks_mut(chunk);
-            let rng_chunks = self.rngs.chunks_mut(chunk);
-            let inbox_chunks = self.inboxes.chunks_mut(chunk);
-            let outbox_chunks = self.outboxes.chunks_mut(chunk);
-            let wake_chunks = self.wake_by_node.chunks_mut(chunk);
-            std::thread::scope(|scope| {
-                for (ci, ((((nodes, rngs), inboxes), outboxes), wakes)) in node_chunks
-                    .zip(rng_chunks)
-                    .zip(inbox_chunks)
-                    .zip(outbox_chunks)
-                    .zip(wake_chunks)
-                    .enumerate()
-                {
-                    let base = ci * chunk;
-                    scope.spawn(move || {
-                        for (off, (((node, rng), inbox), outbox)) in nodes
-                            .iter_mut()
-                            .zip(rngs.iter_mut())
-                            .zip(inboxes.iter_mut())
-                            .zip(outbox_chunk_iter(outboxes))
-                            .enumerate()
-                        {
-                            let i = base + off;
-                            let due = wakes[off].is_some_and(|w| w <= round);
-                            if !starting && inbox.is_empty() && !due {
-                                continue;
-                            }
-                            if due {
-                                wakes[off] = None;
-                            }
-                            let mut wake = None;
-                            {
-                                let mut ctx = Context {
-                                    round,
-                                    n,
-                                    degree: graph.degree(NodeId::new(i)),
-                                    rng,
-                                    sends: outbox,
-                                    wake: &mut wake,
-                                };
-                                if starting {
-                                    node.on_start(&mut ctx);
-                                } else {
-                                    node.on_round(&mut ctx, inbox);
-                                }
-                            }
-                            inbox.clear();
-                            if let Some(r) = wake {
-                                let r = r.max(round + 1);
-                                wakes[off] = Some(match wakes[off] {
-                                    Some(cur) => cur.min(r),
-                                    None => r,
-                                });
-                            }
-                        }
-                    });
-                }
-            });
+    /// The run loop. Whole-run-inline mode delegates to the serial
+    /// engine (same state, same algorithm); otherwise per-node state is
+    /// split into shards, workers are spawned once, and rounds are
+    /// driven over the barrier until the run ends and state is
+    /// reassembled.
+    fn run_core<O: TransmitObserver + ?Sized>(
+        &mut self,
+        round_limit: u64,
+        obs: &mut O,
+    ) -> RunOutcome {
+        if self.threads == 1 || self.inline_cutoff == usize::MAX {
+            return self.inner.run_core(round_limit, obs, |_| false);
         }
+        let n = self.inner.graph.n();
+        let shard_len = n.div_ceil(self.threads).max(1);
+        let shards = self.take_shards(shard_len);
+        let agg = RoundAgg {
+            inbox_total: shards.iter().map(|s| s.active.len()).sum(),
+            done_total: shards.iter().map(|s| s.done_count).sum(),
+            min_wake: shards.iter().filter_map(|s| s.next_wake).min(),
+            wake_entries: shards.iter().map(|s| s.wakeups.len()).sum(),
+        };
+        let cells: Vec<Mutex<Shard<P>>> = shards.into_iter().map(Mutex::new).collect();
+        let outcome = self.run_sharded(&cells, round_limit, obs, agg);
+        self.restore_shards(
+            cells
+                .into_iter()
+                .map(|c| match c.into_inner() {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                })
+                .collect(),
+        );
+        outcome
+    }
 
-        // Serial merge: enqueue sends in node order (determinism), then
-        // transmit exactly as the serial engine does.
-        for i in 0..n {
-            let u = NodeId::new(i);
-            let outbox = &mut self.outboxes[i];
-            for (port, msg) in outbox.drain(..) {
-                if let Some(budget) = self.cfg.bandwidth_bits {
-                    let sz = msg.bit_size();
-                    assert!(
-                        sz <= budget,
-                        "protocol bug: message of {sz} bits exceeds the {budget}-bit budget"
-                    );
+    /// Barrier-driven run loop over the shards.
+    fn run_sharded<O: TransmitObserver + ?Sized>(
+        &mut self,
+        cells: &[Mutex<Shard<P>>],
+        round_limit: u64,
+        obs: &mut O,
+        mut agg: RoundAgg,
+    ) -> RunOutcome {
+        let n = self.inner.graph.n();
+        let budget = self.inner.cfg.bandwidth_bits;
+        let barrier = Barrier::new(cells.len() + 1);
+        let cmd = AtomicU8::new(CMD_ROUND);
+        let round_now = AtomicU64::new(self.inner.round);
+        // A worker panic is caught so the barrier protocol stays intact,
+        // its payload parked here, and re-raised on the driving thread —
+        // the original message (e.g. a CONGEST-budget assert from
+        // `Context::send`) must not be lost.
+        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let graph = Arc::clone(&self.inner.graph);
+
+        std::thread::scope(|scope| {
+            for cell in cells {
+                let barrier = &barrier;
+                let cmd = &cmd;
+                let round_now = &round_now;
+                let panicked = &panicked;
+                let graph = &graph;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    let c = cmd.load(Ordering::SeqCst);
+                    if c == CMD_EXIT {
+                        break;
+                    }
+                    let r = round_now.load(Ordering::SeqCst);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut shard = cell.lock().expect("shard lock");
+                        shard.run_phase(graph, n, budget, c == CMD_START, r);
+                    }));
+                    if let Err(payload) = result {
+                        *panicked.lock().expect("panic slot") = Some(payload);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            // Sends EXIT + one barrier crossing when the loop below ends
+            // — normally or by unwinding — so workers always get
+            // released before `thread::scope` joins them.
+            let _exit = ExitGuard {
+                cmd: &cmd,
+                barrier: &barrier,
+            };
+            loop {
+                if let Some(out) = self.check_stopped(&agg, round_limit) {
+                    break out;
                 }
-                self.metrics.sent_by_node[i] += 1;
-                self.queues.push(&self.graph, u, port, msg);
+                let starting = !self.inner.started;
+                self.inner.started = true;
+                // Upper bound on the callbacks this round will run.
+                let work = if starting {
+                    n
+                } else {
+                    agg.inbox_total
+                        + if agg.min_wake.is_some_and(|r| r <= self.inner.round) {
+                            agg.wake_entries
+                        } else {
+                            0
+                        }
+                };
+                let inline = work <= self.inline_cutoff.saturating_mul(cells.len());
+                if !inline {
+                    cmd.store(if starting { CMD_START } else { CMD_ROUND }, Ordering::SeqCst);
+                    round_now.store(self.inner.round, Ordering::SeqCst);
+                    barrier.wait(); // workers run the protocol phase
+                    barrier.wait(); // workers finished
+                    if let Some(payload) = panicked.lock().expect("panic slot").take() {
+                        resume_unwind(payload);
+                    }
+                }
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|c| c.lock().expect("shard lock"))
+                    .collect();
+                if inline {
+                    // Sparse round: run the phase inline, workers stay
+                    // parked on the barrier. Same code path, same order.
+                    for guard in guards.iter_mut() {
+                        guard.run_phase(&graph, n, budget, starting, self.inner.round);
+                    }
+                }
+                agg = self.merge_and_transmit(&mut guards, starting, obs);
+                drop(guards);
+                self.inner.round += 1;
+            }
+        })
+    }
+
+    /// Pre-round bookkeeping shared with the serial engine: idle
+    /// detection (skipping ahead to the next wake in `O(1)`),
+    /// termination, and the round limit. Returns `Some` when the run is
+    /// over.
+    fn check_stopped(&mut self, agg: &RoundAgg, round_limit: u64) -> Option<RunOutcome> {
+        if self.inner.started {
+            let round = self.inner.round;
+            let idle = agg.inbox_total == 0 && self.inner.in_flight() == 0;
+            if idle {
+                if agg.done_total == self.inner.graph.n() {
+                    return Some(RunOutcome::Done { round });
+                }
+                match agg.min_wake {
+                    None => return Some(RunOutcome::Quiescent { round }),
+                    Some(r) => {
+                        if r > round {
+                            self.inner.round = r;
+                        }
+                    }
+                }
             }
         }
-        let metrics = &mut self.metrics;
-        let inboxes = &mut self.inboxes;
+        // Re-read the round: an idle skip above may have moved it past
+        // the limit, and the serial engine stops in that case too.
+        if self.inner.round >= round_limit {
+            return Some(RunOutcome::RoundLimit {
+                round: self.inner.round,
+            });
+        }
+        None
+    }
+
+    /// The serial half of a round: transmit the backlog, drain any
+    /// signal sends, then every shard's fresh sends in node order
+    /// (determinism); deliver into shard inboxes and collect the
+    /// aggregates.
+    fn merge_and_transmit<O: TransmitObserver + ?Sized>(
+        &mut self,
+        shards: &mut [impl DerefMut<Target = Shard<P>>],
+        starting: bool,
+        obs: &mut O,
+    ) -> RoundAgg {
+        let shard_len = shards[0].nodes.len().max(1);
+        let mut any_activity = starting;
         let mut transmitted = false;
-        self.queues.transmit(graph, |u, p, msg| {
-            let v = graph.neighbor(u, p);
-            let q = graph.reverse_port(u, p);
-            let e = graph.edge_id(u, p);
-            let bits = msg.bit_size();
-            metrics.messages += 1;
-            metrics.bits += bits as u64;
-            obs.on_transmit(&TransmitEvent {
-                round,
-                from: u,
-                from_port: p,
-                to: v,
-                to_port: q,
-                edge: e,
-                bits,
-            });
-            inboxes[v.index()].push((q, msg));
-            transmitted = true;
-        });
-        metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.queues.max_backlog());
-        if transmitted || starting {
-            metrics.active_rounds += 1;
-        }
-        self.round += 1;
-    }
-}
 
-/// `chunks_mut` gives us `&mut [Vec<..>]`; iterate its elements mutably.
-fn outbox_chunk_iter<T>(chunk: &mut [T]) -> impl Iterator<Item = &mut T> {
-    chunk.iter_mut()
+        // Backlogged edges deliver their queue head first — exactly the
+        // serial engine's order; the discipline itself is the shared
+        // [`Transmitter`], only the shard-routed inbox sink is ours.
+        let mut batch = std::mem::take(&mut self.inner.deliveries);
+        self.inner.queues.transmit_into(&mut batch);
+        let mut pending = std::mem::take(&mut self.inner.pending);
+        transmitted |= !batch.is_empty() || !pending.is_empty();
+        let mut inbox_total = 0usize;
+        {
+            let mut tx = Transmitter::new(
+                &self.inner.graph,
+                &mut self.inner.queues,
+                &mut self.inner.last_carried,
+                self.inner.round,
+            );
+            let mut views: Vec<&mut Shard<P>> =
+                shards.iter_mut().map(|s| s.deref_mut()).collect();
+            {
+                let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
+                for (dir, msg) in batch.drain(..) {
+                    tx.deliver_head(dir as usize, msg, obs, &mut sink);
+                }
+                // Signal sends queued between runs (see `Engine::signal`).
+                for (dir, msg) in pending.drain(..) {
+                    tx.offer(dir as usize, msg, obs, &mut sink);
+                }
+            }
+
+            // Then the round's fresh sends, in shard (= node) order:
+            // deliver directly when the edge is idle this round, join
+            // the backlog otherwise.
+            for s in 0..views.len() {
+                any_activity |= views[s].ran;
+                let base = views[s].base;
+                while let Some((local, cnt)) = views[s].sent_log.pop() {
+                    self.inner.metrics.sent_by_node[base + local as usize] += cnt as u64;
+                }
+                let mut outbox = std::mem::take(&mut views[s].outbox);
+                transmitted |= !outbox.is_empty();
+                {
+                    let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
+                    for (dir, msg) in outbox.drain(..) {
+                        tx.offer(dir as usize, msg, obs, &mut sink);
+                    }
+                }
+                views[s].outbox = outbox; // recycle the allocation
+            }
+            tx.finish(&mut self.inner.metrics);
+        }
+        self.inner.deliveries = batch;
+        self.inner.pending = pending;
+
+        if any_activity || transmitted {
+            self.inner.metrics.active_rounds += 1;
+        }
+
+        RoundAgg {
+            inbox_total,
+            done_total: shards.iter().map(|s| s.done_count).sum(),
+            min_wake: shards.iter().filter_map(|s| s.next_wake).min(),
+            wake_entries: shards.iter().map(|s| s.wakeups.len()).sum(),
+        }
+    }
+
+    /// Moves the inner engine's per-node state into contiguous shards of
+    /// `shard_len` nodes each.
+    fn take_shards(&mut self, shard_len: usize) -> Vec<Shard<P>> {
+        let inner = &mut self.inner;
+        let n = inner.graph.n();
+        let num_shards = n.div_ceil(shard_len).max(1);
+        let mut nodes = std::mem::take(&mut inner.nodes);
+        let mut rngs = std::mem::take(&mut inner.rngs);
+        let mut inboxes = std::mem::take(&mut inner.inboxes);
+        let mut done_flags = std::mem::take(&mut inner.done_flags);
+        let mut flags = std::mem::take(&mut inner.inbox_flag);
+        let mut shards: Vec<Shard<P>> = Vec::with_capacity(num_shards);
+        // Split from the back so each split_off is O(shard size).
+        for s in (0..num_shards).rev() {
+            let base = s * shard_len;
+            let shard_done = done_flags.split_off(base);
+            let done_count = shard_done.iter().filter(|&&d| d).count();
+            shards.push(Shard {
+                base,
+                nodes: nodes.split_off(base),
+                rngs: rngs.split_off(base),
+                inboxes: inboxes.split_off(base),
+                wakeups: BinaryHeap::new(),
+                done_flags: shard_done,
+                done_count,
+                active: Vec::new(),
+                flags: flags.split_off(base),
+                outbox: Vec::new(),
+                sent_log: Vec::new(),
+                next_wake: None,
+                ran: false,
+                todo: Vec::new(),
+            });
+        }
+        shards.reverse();
+        for i in std::mem::take(&mut inner.inbox_active) {
+            let s = i as usize / shard_len;
+            let base = shards[s].base as u32;
+            shards[s].active.push(i - base);
+        }
+        for Reverse((r, i)) in std::mem::take(&mut inner.wakeups) {
+            let s = i as usize / shard_len;
+            let base = shards[s].base as u32;
+            shards[s].wakeups.push(Reverse((r, i - base)));
+        }
+        for shard in &mut shards {
+            shard.next_wake = shard.wakeups.peek().map(|&Reverse((r, _))| r);
+        }
+        shards
+    }
+
+    /// Moves shard state back into the inner engine after a run.
+    fn restore_shards(&mut self, shards: Vec<Shard<P>>) {
+        let inner = &mut self.inner;
+        inner.done_count = 0;
+        for shard in shards {
+            let base = shard.base as u32;
+            inner.nodes.extend(shard.nodes);
+            inner.rngs.extend(shard.rngs);
+            inner.inboxes.extend(shard.inboxes);
+            inner.done_flags.extend(shard.done_flags);
+            inner.inbox_flag.extend(shard.flags);
+            inner.done_count += shard.done_count;
+            for &local in &shard.active {
+                inner.inbox_active.push(base + local);
+            }
+            for Reverse((r, local)) in shard.wakeups {
+                inner.wakeups.push(Reverse((r, base + local)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Engine;
     use crate::testing::FloodMax;
     use welle_graph::gen;
 
@@ -312,5 +724,95 @@ mod tests {
         many.run(10_000);
         assert_eq!(one.metrics().messages, many.metrics().messages);
         assert_eq!(one.round(), many.round());
+    }
+
+    #[test]
+    fn barrier_path_matches_serial_engine() {
+        // Force every round through the workers (cutoff 0), whatever the
+        // host's core count, so the barrier path is always exercised.
+        let g = graph();
+        let cfg = EngineConfig {
+            seed: 7,
+            bandwidth_bits: None,
+        };
+        let mk = || (0..g.n()).map(|i| FloodMax::new(i as u64)).collect::<Vec<_>>();
+        let mut serial = Engine::new(Arc::clone(&g), mk(), cfg);
+        serial.run(100_000);
+        for threads in [2usize, 5] {
+            let mut par = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, threads);
+            par.set_inline_cutoff(0);
+            let out = par.run(100_000);
+            assert!(out.is_done());
+            assert_eq!(serial.metrics().messages, par.metrics().messages);
+            assert_eq!(serial.round(), par.round());
+            for (a, b) in serial.nodes().iter().zip(par.nodes()) {
+                assert_eq!(a.best(), b.best());
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_driver() {
+        use crate::protocol::Context;
+        use welle_graph::Port;
+
+        struct Oversized;
+        impl Protocol for Oversized {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.send(Port::new(0), 1); // u64 claims 64 bits
+            }
+            fn on_round(&mut self, _: &mut Context<'_, u64>, i: &mut Vec<(Port, u64)>) {
+                i.clear();
+            }
+        }
+        let g = graph();
+        let mut e = ThreadedEngine::new(
+            Arc::clone(&g),
+            (0..g.n()).map(|_| Oversized).collect(),
+            EngineConfig {
+                seed: 0,
+                bandwidth_bits: Some(32),
+            },
+            2,
+        );
+        e.set_inline_cutoff(0); // force the barrier path
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            e.run(10);
+        }));
+        let payload = result.expect_err("oversized message must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("CONGEST budget"),
+            "original panic message must survive the worker hand-off, got: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn resumed_runs_continue_identically() {
+        // Interrupting a run at a round limit and resuming must land in
+        // the same final state as one uninterrupted run — including when
+        // the resumed run crosses the sharded path.
+        let g = graph();
+        let cfg = EngineConfig::default();
+        let mk = || (0..g.n()).map(|i| FloodMax::new(i as u64)).collect::<Vec<_>>();
+        let mut whole = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, 3);
+        whole.set_inline_cutoff(0);
+        let out_whole = whole.run(10_000);
+        let mut pieces = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, 3);
+        pieces.set_inline_cutoff(0);
+        let mut out = pieces.run(2);
+        assert!(matches!(out, RunOutcome::RoundLimit { .. }));
+        out = pieces.run(10_000);
+        assert_eq!(out_whole.is_done(), out.is_done());
+        assert_eq!(whole.metrics().messages, pieces.metrics().messages);
+        assert_eq!(whole.round(), pieces.round());
+        for (a, b) in whole.nodes().iter().zip(pieces.nodes()) {
+            assert_eq!(a.best(), b.best());
+        }
     }
 }

@@ -8,6 +8,14 @@
 //! until the Intersection and Distinctness properties certify that their
 //! proxy sets intersect a majority of the other contenders'.
 //!
+//! Everything here runs in the CONGEST model as enforced by
+//! `welle-congest`: anonymous port-numbered nodes, one message per
+//! directed edge per round (excess serializes as congestion), and a
+//! per-message bit budget (`EngineConfig::bandwidth_bits`, derived in
+//! [`Params`] as `O(log n)` bits — ids are `4⌈log₂ n⌉` bits). Elections
+//! run on either executor via [`run_election`] (serial) or
+//! [`run_election_threaded`] (sharded) with bit-identical results.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -44,5 +52,8 @@ pub mod broadcast;
 pub use config::{ElectionConfig, MsgSizeMode, Params, Phase, SyncMode};
 pub use msg::{ElectionMsg, FwdItem, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
-pub use runner::{run_election, run_election_observed, ElectionReport};
+pub use runner::{
+    run_election, run_election_observed, run_election_threaded,
+    run_election_threaded_observed, ElectionReport,
+};
 pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

@@ -6,7 +6,7 @@
 //! [`random_regular`], [`random_tree`]) take an [`rand::Rng`].
 //!
 //! The two constructions specific to the paper's lower bounds live in
-//! [`clique_of_cliques`] (§4.1, Figures 1 and 2) and [`dumbbell`] (§5).
+//! [`clique_of_cliques`] (§4.1, Figures 1 and 2) and [`dumbbell()`] (§5).
 //!
 //! All randomized generators finish with [`crate::Graph::shuffle_ports`] so
 //! port numbers carry no structural information, as the model requires.

@@ -96,18 +96,20 @@ pub fn gnp_connected<R: Rng + ?Sized>(
     })
 }
 
-/// Random `d`-regular simple connected graph via the pairing model:
-/// `n·d` stubs are shuffled and paired; samples with loops or parallel
-/// edges (or a disconnected result) are rejected and retried.
-///
-/// For constant `d ≥ 3` the acceptance probability is `Θ(1)`, so the retry
-/// loop terminates quickly; these graphs are expanders w.h.p.
+/// Random `d`-regular simple connected graph via the pairing model with
+/// edge-swap repair: `n·d` stubs are shuffled and paired, then each loop
+/// or parallel edge is repaired by a degree-preserving swap with a
+/// uniformly random good edge (the standard configuration-model repair;
+/// full-sample rejection has acceptance `≈ e^{-(d²-1)/4}`, which is
+/// hopeless already at `d = 6`, while repair is `O(n·d)` expected at any
+/// `n` — this is what makes `n = 10⁵` expanders practical). Disconnected
+/// results (rare for `d ≥ 3`) are resampled.
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameters`] if `d == 0`, `d >= n`, or
-/// `n·d` is odd; [`GraphError::RetriesExhausted`] if rejection sampling
-/// fails 1000 times (practically impossible for constant `d`).
+/// `n·d` is odd; [`GraphError::RetriesExhausted`] if sampling fails 1000
+/// times (practically impossible for constant `d ≥ 3`).
 ///
 /// ```
 /// use rand::{SeedableRng, rngs::StdRng};
@@ -144,7 +146,12 @@ pub fn random_regular<R: Rng + ?Sized>(
             }
         }
         stubs.shuffle(rng);
-        if let Some(mut g) = try_pairing(n, &stubs) {
+        if let Some(edges) = pair_with_repair(&stubs, rng) {
+            let mut b = GraphBuilder::with_capacity(n, edges.len());
+            for (u, v) in edges {
+                b.add_edge(u as usize, v as usize)?;
+            }
+            let mut g = b.build()?;
             if analysis::is_connected(&g) {
                 g.shuffle_ports(rng);
                 return Ok(g);
@@ -157,17 +164,61 @@ pub fn random_regular<R: Rng + ?Sized>(
     })
 }
 
-/// Pairs consecutive stubs; `None` when a loop or duplicate edge appears.
-fn try_pairing(n: usize, stubs: &[u32]) -> Option<Graph> {
-    let mut b = GraphBuilder::with_capacity(n, stubs.len() / 2);
+/// Canonical set key of an undirected edge.
+fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Pairs consecutive stubs; loops and duplicate edges are repaired by
+/// swapping with a uniformly random accepted edge. Returns `None` if
+/// repair stalls (then the caller reshuffles from scratch).
+fn pair_with_repair<R: Rng + ?Sized>(stubs: &[u32], rng: &mut R) -> Option<Vec<(u32, u32)>> {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(stubs.len() / 2);
+    let mut seen: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(stubs.len());
+    let mut bad: Vec<(u32, u32)> = Vec::new();
     for pair in stubs.chunks_exact(2) {
-        let (u, v) = (pair[0] as usize, pair[1] as usize);
-        if u == v || b.has_edge(u, v) {
-            return None;
+        let (u, v) = (pair[0], pair[1]);
+        if u == v || !seen.insert(edge_key(u, v)) {
+            bad.push((u, v));
+        } else {
+            edges.push((u, v));
         }
-        b.add_edge(u, v).ok()?;
     }
-    b.build().ok()
+    // Each bad pair needs O(1) swap attempts in expectation (a random
+    // good edge collides with the pair's endpoints with probability
+    // O(d/n)); the generous budget covers the tail.
+    let mut budget = 200 + 40 * bad.len();
+    while let Some((u, v)) = bad.pop() {
+        loop {
+            budget = budget.checked_sub(1)?;
+            if edges.is_empty() {
+                return None;
+            }
+            let idx = rng.random_range(0..edges.len());
+            let (mut x, mut y) = edges[idx];
+            if rng.random_bool(0.5) {
+                std::mem::swap(&mut x, &mut y);
+            }
+            // Swap (u,v) + (x,y) → (u,x) + (v,y).
+            if u == x || v == y {
+                continue;
+            }
+            let k1 = edge_key(u, x);
+            let k2 = edge_key(v, y);
+            if k1 == k2 || seen.contains(&k1) || seen.contains(&k2) {
+                continue;
+            }
+            seen.remove(&edge_key(x, y));
+            seen.insert(k1);
+            seen.insert(k2);
+            edges[idx] = (u, x);
+            edges.push((v, y));
+            break;
+        }
+    }
+    Some(edges)
 }
 
 /// Maps a linear index `0..n(n-1)/2` to the pair `(u, v)` with `u < v`

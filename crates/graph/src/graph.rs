@@ -34,8 +34,31 @@ pub struct Graph {
     rev_ports: Vec<Port>,
     /// Undirected edge id of the edge behind each slot.
     edge_ids: Vec<EdgeId>,
+    /// Packed per-directed-edge records (derived from the arrays above;
+    /// rebuilt after port shuffles). Simulator hot paths resolve one
+    /// directed index with a single lookup instead of four, and
+    /// `dir_info[dir].src` resolves a [`Graph::directed_index`] back to
+    /// its owner in `O(1)` instead of a binary search.
+    dir_info: Vec<DirInfo>,
     /// Endpoints of each undirected edge (canonical order: smaller first).
     endpoints: Vec<(NodeId, NodeId)>,
+}
+
+/// Everything a simulator needs about one directed edge, packed so
+/// message delivery costs a single indexed load (see
+/// [`Graph::directed_info`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirInfo {
+    /// Source node (the sender).
+    pub src: NodeId,
+    /// Port on the source side.
+    pub src_port: Port,
+    /// Target node (the receiver).
+    pub dst: NodeId,
+    /// Arrival port on the target side.
+    pub dst_port: Port,
+    /// Undirected edge id behind this directed edge.
+    pub edge: EdgeId,
 }
 
 impl Graph {
@@ -79,13 +102,35 @@ impl Graph {
             endpoints.push((NodeId::new(a), NodeId::new(b)));
         }
 
-        Graph {
+        let mut g = Graph {
             offsets,
             neighbors,
             rev_ports,
             edge_ids,
+            dir_info: Vec::new(),
             endpoints,
+        };
+        g.rebuild_dir_info();
+        g
+    }
+
+    /// Rebuilds the packed [`DirInfo`] cache from the CSR arrays.
+    fn rebuild_dir_info(&mut self) {
+        let mut info = Vec::with_capacity(self.neighbors.len());
+        for u in 0..self.n() {
+            let base = self.offsets[u];
+            for p in 0..self.offsets[u + 1] - base {
+                let slot = base + p;
+                info.push(DirInfo {
+                    src: NodeId::new(u),
+                    src_port: Port::new(p),
+                    dst: self.neighbors[slot],
+                    dst_port: self.rev_ports[slot],
+                    edge: self.edge_ids[slot],
+                });
+            }
         }
+        self.dir_info = info;
     }
 
     /// Number of nodes.
@@ -241,6 +286,62 @@ impl Graph {
         self.neighbors.len()
     }
 
+    /// Source `(node, port)` of the directed edge with index `dir` —
+    /// the inverse of [`Graph::directed_index`], in `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= directed_edge_count()`.
+    #[inline]
+    pub fn directed_source(&self, dir: usize) -> (NodeId, Port) {
+        let info = self.dir_info[dir];
+        (info.src, info.src_port)
+    }
+
+    /// Target `(node, arrival port)` of the directed edge with index
+    /// `dir`: the node that receives a message sent along `dir`, and the
+    /// port on which it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= directed_edge_count()`.
+    #[inline]
+    pub fn directed_target(&self, dir: usize) -> (NodeId, Port) {
+        (self.neighbors[dir], self.rev_ports[dir])
+    }
+
+    /// Undirected edge id behind the directed edge with index `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= directed_edge_count()`.
+    #[inline]
+    pub fn directed_edge_id(&self, dir: usize) -> EdgeId {
+        self.edge_ids[dir]
+    }
+
+    /// The packed record of the directed edge with index `dir`: source
+    /// and target `(node, port)` plus the undirected edge id, in one
+    /// lookup. This is the simulator's per-message delivery primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= directed_edge_count()`.
+    #[inline]
+    pub fn directed_info(&self, dir: usize) -> DirInfo {
+        self.dir_info[dir]
+    }
+
+    /// First directed index of node `u` (its port-0 slot); `u`'s ports
+    /// occupy `directed_base(u)..directed_base(u) + degree(u)`
+    /// contiguously, so `directed_index(u, p) == directed_base(u) + p`.
+    /// Hot paths that send through many ports of one node use this to
+    /// compute the directed index once per node instead of once per send.
+    #[inline]
+    pub fn directed_base(&self, u: NodeId) -> usize {
+        self.offsets[u.index()]
+    }
+
     /// Permutes every node's port numbering uniformly at random.
     ///
     /// The lower-bound arguments (Lemma 18) require inter-clique ports to be
@@ -289,26 +390,15 @@ impl Graph {
         }
         for &(s1, s2) in &edge_slots {
             debug_assert!(s2 != usize::MAX, "every edge has two slots");
-            let u1 = self.owner_of_slot(s1);
-            let u2 = self.owner_of_slot(s2);
+            // Shuffling permutes slots only within each node's own range,
+            // so the pre-shuffle `dir_info[slot].src` still names each
+            // slot's owner (the cache is rebuilt below).
+            let u1 = self.dir_info[s1].src.index();
+            let u2 = self.dir_info[s2].src.index();
             self.rev_ports[s1] = Port::new(s2 - self.offsets[u2]);
             self.rev_ports[s2] = Port::new(s1 - self.offsets[u1]);
         }
-    }
-
-    /// Node owning a global adjacency slot (binary search over offsets).
-    fn owner_of_slot(&self, slot: usize) -> usize {
-        match self.offsets.binary_search(&slot) {
-            Ok(mut i) => {
-                // Offsets of empty nodes may repeat; advance to the node
-                // whose range actually starts at or before `slot`.
-                while i + 1 < self.offsets.len() && self.offsets[i + 1] == slot {
-                    i += 1;
-                }
-                i
-            }
-            Err(i) => i - 1,
-        }
+        self.rebuild_dir_info();
     }
 
     #[inline]
@@ -507,6 +597,32 @@ mod tests {
     fn bad_port_panics() {
         let g = square();
         let _ = g.neighbor(NodeId::new(0), Port::new(2));
+    }
+
+    #[test]
+    fn directed_accessors_invert_directed_index() {
+        let mut g = from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            for u in g.nodes() {
+                for p in g.ports(u) {
+                    let dir = g.directed_index(u, p);
+                    assert_eq!(dir, g.directed_base(u) + p.index());
+                    assert_eq!(g.directed_source(dir), (u, p));
+                    assert_eq!(g.directed_target(dir), (g.neighbor(u, p), g.reverse_port(u, p)));
+                    assert_eq!(g.directed_edge_id(dir), g.edge_id(u, p));
+                    let info = g.directed_info(dir);
+                    assert_eq!((info.src, info.src_port), (u, p));
+                    assert_eq!((info.dst, info.dst_port), g.directed_target(dir));
+                    assert_eq!(info.edge, g.edge_id(u, p));
+                }
+            }
+            g.shuffle_ports(&mut rng);
+        }
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod gen;
 
 pub use builder::{from_edges, GraphBuilder};
 pub use error::GraphError;
-pub use graph::{DegreeStats, Graph, NeighborIter, PortIter};
+pub use graph::{DegreeStats, DirInfo, Graph, NeighborIter, PortIter};
 pub use types::{EdgeId, NodeId, Port};

@@ -13,6 +13,12 @@
 //! * [`sampling`] — centralized walk simulation used to validate the
 //!   distributed machinery.
 //!
+//! The distributed pieces run under the CONGEST assumptions enforced by
+//! `welle-congest`: one message per directed edge per round (excess
+//! queues as congestion — which is why tokens travel *aggregated* as
+//! counts), and an `O(log n)`-bit per-message budget
+//! (`EngineConfig::bandwidth_bits`) that aggregated counts must fit.
+//!
 //! ```
 //! use welle_graph::gen;
 //! use welle_walks::{mixing_time, MixingOptions};

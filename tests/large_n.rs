@@ -1,0 +1,98 @@
+//! Large-`n` validation of the sublinear-round claims (ROADMAP):
+//! elections at `n = 10⁵` under the sharded [`welle::congest::ThreadedEngine`],
+//! with round budgets derived from the paper's `O(t_mix · log² n)` bound.
+//!
+//! These tests need the optimized build: they are ignored under the
+//! debug profile (`cargo test -q` skips them) and run with
+//! `cargo test --release --test large_n`. The clique-of-cliques case
+//! additionally takes ~10 minutes and is always opt-in:
+//! `cargo test --release --test large_n -- --ignored`.
+//!
+//! Reference numbers from these runs are recorded in
+//! `results/large_n_rounds.md` and `BENCH_NOTES.md`.
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::core::{run_election, run_election_threaded, ElectionConfig};
+use welle::graph::gen::{self, CliqueOfCliques, CliqueOfCliquesParams};
+
+const N: usize = 100_000;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs the release profile (≈70 s optimized)")]
+fn expander_100k_elects_within_round_budget() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = Arc::new(gen::random_regular(N, 6, &mut rng).unwrap());
+    let cfg = ElectionConfig::tuned_for_simulation(N);
+    let report = run_election_threaded(&g, &cfg, 7, 4);
+    assert!(
+        report.is_success(),
+        "leaders = {:?}, contenders = {}, gave_up = {}",
+        report.leaders,
+        report.contenders,
+        report.gave_up
+    );
+    assert_eq!(report.broken_routes, 0, "routing must never break");
+    // Sublinear rounds: a 6-regular expander mixes in O(log n), so the
+    // election must finish well below n rounds (observed ≈ 36k; the
+    // budget is 2× the observation and still < 0.8·n).
+    assert!(
+        report.engine_rounds < 80_000,
+        "{} rounds blows the expander budget",
+        report.engine_rounds
+    );
+    // Guess-and-double must stop at a walk length O(t_mix) — far below
+    // the cap — on a well-connected graph.
+    assert!(
+        report.final_walk_len <= 64,
+        "final walk length {} too large for an expander",
+        report.final_walk_len
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs the release profile")]
+fn threaded_election_matches_serial_at_scale() {
+    // The engines must produce identical elections — leader, messages,
+    // rounds — at a size where sharding actually engages.
+    let n = 4096;
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = Arc::new(gen::random_regular(n, 4, &mut rng).unwrap());
+    let cfg = ElectionConfig::tuned_for_simulation(n);
+    let serial = run_election(&g, &cfg, 13);
+    let threaded = run_election_threaded(&g, &cfg, 13, 4);
+    assert_eq!(serial.leaders, threaded.leaders);
+    assert_eq!(serial.leader_id, threaded.leader_id);
+    assert_eq!(serial.messages, threaded.messages);
+    assert_eq!(serial.bits, threaded.bits);
+    assert_eq!(serial.engine_rounds, threaded.engine_rounds);
+    assert_eq!(serial.decided_round, threaded.decided_round);
+    assert!(serial.is_success());
+}
+
+#[test]
+#[ignore = "≈10 min optimized; run with --release -- --ignored"]
+fn clique_of_cliques_100k_elects_within_round_budget() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let lb = CliqueOfCliques::build(CliqueOfCliquesParams::new(N, 0.1), &mut rng).unwrap();
+    let g = Arc::new(lb.into_graph());
+    assert_eq!(g.n(), N);
+    let cfg = ElectionConfig::tuned_for_simulation(g.n());
+    let report = run_election_threaded(&g, &cfg, 7, 4);
+    assert!(
+        report.is_success(),
+        "leaders = {:?}, contenders = {}, gave_up = {}",
+        report.leaders,
+        report.contenders,
+        report.gave_up
+    );
+    // Conductance Θ(n^{-0.2}) mixes slower than the expander, but the
+    // election must still finish in rounds linear-ish in t_mix·log²n
+    // (observed ≈ 101k; budget 2.5×).
+    assert!(
+        report.engine_rounds < 250_000,
+        "{} rounds blows the clique-of-cliques budget",
+        report.engine_rounds
+    );
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Provides the subset of the proptest API the welle test suites use:
-//! the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and
 //! tuple strategies, [`prelude::Just`], `any::<T>()`, `collection::vec`,
 //! the [`proptest!`] macro (with `#![proptest_config(..)]` support), and
 //! the `prop_assert*` macros.
