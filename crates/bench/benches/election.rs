@@ -6,7 +6,7 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use welle_bench::workloads::Family;
 use welle_core::baselines::run_flood_max;
-use welle_core::run_election;
+use welle_core::Election;
 
 fn bench_election(c: &mut Criterion) {
     let mut group = c.benchmark_group("election");
@@ -15,7 +15,7 @@ fn bench_election(c: &mut Criterion) {
         let graph = fam.build(128, 7);
         let cfg = fam.election_config(graph.n());
         group.bench_with_input(BenchmarkId::new(fam.name(), graph.n()), &graph, |b, g| {
-            b.iter(|| black_box(run_election(g, &cfg, 3)))
+            b.iter(|| black_box(Election::on(g).config(cfg).seed(3).run().unwrap()))
         });
     }
     group.finish();

@@ -9,7 +9,7 @@
 use crate::table::Table;
 use crate::workloads::Family;
 use welle_core::baselines::run_flood_max;
-use welle_core::{run_election, ElectionConfig, SyncMode};
+use welle_core::{Campaign, Election, ElectionConfig, SyncMode};
 use welle_walks::{mixing_time, MixingOptions, StartPolicy};
 
 /// Runs the family comparison.
@@ -22,6 +22,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             "msgs/(sqrt n * tmix)",
         ],
     );
+    // One Campaign over all four families (a `.families(...)` sweep);
+    // t_mix and the flood-max baseline are per-family side computations.
+    let mut scenarios = Vec::new();
+    let mut tmixes = Vec::new();
     for fam in [Family::Expander, Family::Hypercube, Family::Clique, Family::Torus] {
         // Dense cliques and Θ(n)-mixing tori get sized down: their costs
         // grow like m and t_mix·√n respectively, and the row is about
@@ -31,24 +35,39 @@ pub fn run(quick: bool) -> Vec<Table> {
             Family::Torus => n.min(400),
             _ => n,
         };
-        let graph = fam.build(fam_n, 21);
-        let n_actual = graph.n();
+        let scenario = fam.scenario(fam_n, 21);
         let tmix = mixing_time(
-            &graph,
+            &scenario.1,
             MixingOptions {
                 horizon: 500_000,
                 starts: StartPolicy::Sample(6),
             },
         )
         .expect("mixes") as f64;
-        let cfg = fam.election_config(n_actual);
-        let ours = run_election(&graph, &cfg, 4);
-        let flood = run_flood_max(&graph, 4);
+        scenarios.push(scenario);
+        tmixes.push(tmix);
+    }
+    let proto = Election::on(&scenarios[0].1).config(scenarios[0].2);
+    let campaign = Campaign::new(proto)
+        .label(scenarios[0].0.clone())
+        .families(scenarios.iter().skip(1).cloned())
+        .seeds([4])
+        .run()
+        .expect("experiment configs are valid");
+    // Look trials up by scenario label rather than zipping positionally,
+    // so a different seed count cannot silently misalign the rows.
+    for ((label, graph, _), tmix) in scenarios.iter().zip(&tmixes) {
+        let Some(trial) = campaign.trials_of(label).next() else {
+            continue;
+        };
+        let ours = &trial.report;
+        let flood = run_flood_max(graph, 4);
         if !ours.is_success() {
             continue;
         }
+        let n_actual = graph.n();
         table.push_strings(vec![
-            fam.name().into(),
+            label.clone(),
             n_actual.to_string(),
             graph.m().to_string(),
             format!("{tmix:.0}"),
@@ -81,7 +100,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         sync: SyncMode::FixedT,
         ..ElectionConfig::tuned_for_simulation(n_t)
     };
-    let r = run_election(&graph, &cfg, 6);
+    let r = Election::on(&graph)
+        .config(cfg)
+        .seed(6)
+        .run()
+        .expect("experiment configs are valid");
     if r.is_success() {
         let ln = (n_t as f64).ln();
         let pred = tmix * ln * ln;

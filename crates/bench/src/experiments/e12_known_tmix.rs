@@ -12,7 +12,7 @@
 use crate::table::Table;
 use crate::workloads::Family;
 use welle_core::baselines::run_known_tmix_election;
-use welle_core::run_election;
+use welle_core::Election;
 use welle_walks::{mixing_time, MixingOptions, StartPolicy};
 
 /// Runs the comparison.
@@ -36,7 +36,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         )
         .expect("mixes");
         let cfg = Family::Expander.election_config(n);
-        let guess = run_election(&graph, &cfg, 3);
+        let guess = Election::on(&graph)
+            .config(cfg)
+            .seed(3)
+            .run()
+            .expect("experiment configs are valid");
         if !guess.is_success() {
             continue;
         }

@@ -11,7 +11,7 @@
 
 use crate::table::Table;
 use crate::workloads::Family;
-use welle_core::{run_election, ElectionConfig, SyncMode};
+use welle_core::{Campaign, Election, ElectionConfig, SyncMode};
 
 /// Runs the three sweeps.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -26,24 +26,23 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for c1 in [1.0f64, 2.0, 4.0, 8.0] {
         let cfg = ElectionConfig { c1, ..base };
-        let (mut unique, mut zero, mut msgs, mut conts) = (0u32, 0u32, 0u64, 0u64);
-        for seed in 0..reps {
-            let r = run_election(&graph, &cfg, 900 + seed);
-            match r.leaders.len() {
-                1 => unique += 1,
-                0 => zero += 1,
-                _ => {}
-            }
-            msgs += r.messages;
-            conts += r.contenders as u64;
-        }
+        let campaign = Campaign::new(Election::on(&graph).config(cfg))
+            .seeds(900..900 + reps)
+            .run()
+            .expect("experiment configs are valid");
+        let s = campaign.summary();
+        let conts: u64 = campaign
+            .trials
+            .iter()
+            .map(|t| t.report.contenders as u64)
+            .sum();
         c1_table.push_strings(vec![
             format!("{c1}"),
-            reps.to_string(),
-            unique.to_string(),
-            zero.to_string(),
-            format!("{:.0}", msgs as f64 / reps as f64),
-            format!("{:.1}", conts as f64 / reps as f64),
+            s.trials.to_string(),
+            s.successes.to_string(),
+            s.no_leader.to_string(),
+            format!("{:.0}", s.messages.mean),
+            format!("{:.1}", conts as f64 / s.trials as f64),
         ]);
     }
 
@@ -53,24 +52,23 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for c2 in [0.5f64, 1.0, 2.0] {
         let cfg = ElectionConfig { c2, ..base };
-        let (mut unique, mut zero, mut msgs, mut tu) = (0u32, 0u32, 0u64, 0u64);
-        for seed in 0..reps {
-            let r = run_election(&graph, &cfg, 300 + seed);
-            match r.leaders.len() {
-                1 => unique += 1,
-                0 => zero += 1,
-                _ => {}
-            }
-            msgs += r.messages;
-            tu += r.final_walk_len as u64;
-        }
+        let campaign = Campaign::new(Election::on(&graph).config(cfg))
+            .seeds(300..300 + reps)
+            .run()
+            .expect("experiment configs are valid");
+        let s = campaign.summary();
+        let tu: u64 = campaign
+            .trials
+            .iter()
+            .map(|t| t.report.final_walk_len as u64)
+            .sum();
         c2_table.push_strings(vec![
             format!("{c2}"),
-            reps.to_string(),
-            unique.to_string(),
-            zero.to_string(),
-            format!("{:.0}", msgs as f64 / reps as f64),
-            format!("{:.1}", tu as f64 / reps as f64),
+            s.trials.to_string(),
+            s.successes.to_string(),
+            s.no_leader.to_string(),
+            format!("{:.0}", s.messages.mean),
+            format!("{:.1}", tu as f64 / s.trials as f64),
         ]);
     }
 
@@ -84,7 +82,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             sync: SyncMode::FixedT,
             ..base
         };
-        let r = run_election(&graph, &cfg, 77);
+        let r = Election::on(&graph)
+            .config(cfg)
+            .seed(77)
+            .run()
+            .expect("experiment configs are valid");
         ct_table.push_strings(vec![
             format!("{c_t}"),
             r.decided_round.to_string(),

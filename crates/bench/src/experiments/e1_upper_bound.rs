@@ -10,7 +10,7 @@
 use crate::table::Table;
 use crate::workloads::{mean, seeds, Family};
 use crate::{fit, log_log_slope};
-use welle_core::run_election;
+use welle_core::{Campaign, Election};
 use welle_walks::{mixing_time, MixingOptions, StartPolicy};
 
 /// Runs the sweep.
@@ -53,15 +53,18 @@ pub fn run(quick: bool) -> Vec<Table> {
             )
             .expect("family mixes") as f64;
             let cfg = fam.election_config(n_actual);
-            let mut msgs = Vec::new();
-            let mut rounds = Vec::new();
-            for &seed in &seeds(nseeds) {
-                let r = run_election(&graph, &cfg, seed);
-                if r.is_success() {
-                    msgs.push(r.messages);
-                    rounds.push(r.engine_rounds);
-                }
-            }
+            let campaign = Campaign::new(Election::on(&graph).config(cfg))
+                .label(fam.name())
+                .seeds(seeds(nseeds))
+                .run()
+                .expect("experiment configs are valid");
+            let successes: Vec<_> = campaign
+                .trials
+                .iter()
+                .filter(|t| t.report.is_success())
+                .collect();
+            let msgs: Vec<u64> = successes.iter().map(|t| t.report.messages).collect();
+            let rounds: Vec<u64> = successes.iter().map(|t| t.report.engine_rounds).collect();
             if msgs.is_empty() {
                 continue;
             }

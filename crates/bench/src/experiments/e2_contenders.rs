@@ -6,7 +6,7 @@
 
 use crate::table::Table;
 use crate::workloads::Family;
-use welle_core::{run_election, ElectionConfig};
+use welle_core::{Campaign, Election, ElectionConfig};
 
 /// Runs the sweep.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -30,11 +30,15 @@ pub fn run(quick: bool) -> Vec<Table> {
         let expect = cfg.c1 * (n as f64).ln();
         let lo = 0.75 * expect;
         let hi = 1.25 * expect;
-        let mut counts = Vec::new();
-        for seed in 0..reps {
-            let r = run_election(&graph, &cfg, 10_000 + seed);
-            counts.push(r.contenders as u64);
-        }
+        let campaign = Campaign::new(Election::on(&graph).config(cfg))
+            .seeds(10_000..10_000 + reps)
+            .run()
+            .expect("experiment configs are valid");
+        let counts: Vec<u64> = campaign
+            .trials
+            .iter()
+            .map(|t| t.report.contenders as u64)
+            .collect();
         let in_band = counts
             .iter()
             .filter(|&&c| (c as f64) >= lo && (c as f64) <= hi)

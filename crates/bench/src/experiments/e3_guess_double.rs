@@ -5,7 +5,7 @@
 
 use crate::table::Table;
 use crate::workloads::{seeds, Family};
-use welle_core::run_election;
+use welle_core::{Campaign, Election};
 use welle_walks::{mixing_time, MixingOptions, StartPolicy};
 
 /// Runs the sweep.
@@ -32,11 +32,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             )
             .expect("mixes");
             let cfg = fam.election_config(n_actual);
-            for &seed in &seeds(if quick { 1 } else { 2 }) {
-                let r = run_election(&graph, &cfg, seed);
-                if !r.is_success() {
-                    continue;
-                }
+            let campaign = Campaign::new(Election::on(&graph).config(cfg))
+                .label(fam.name())
+                .seeds(seeds(if quick { 1 } else { 2 }))
+                .run()
+                .expect("experiment configs are valid");
+            for t in campaign.trials.iter().filter(|t| t.report.is_success()) {
+                let r = &t.report;
                 table.push_strings(vec![
                     fam.name().into(),
                     n_actual.to_string(),

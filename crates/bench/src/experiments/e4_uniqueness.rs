@@ -4,7 +4,7 @@
 
 use crate::table::Table;
 use crate::workloads::Family;
-use welle_core::run_election;
+use welle_core::{Campaign, Election};
 
 /// Runs the census.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -20,23 +20,20 @@ pub fn run(quick: bool) -> Vec<Table> {
         for &n in sizes {
             let graph = fam.build(n, 13);
             let cfg = fam.election_config(graph.n());
-            let (mut zero, mut one, mut many) = (0u32, 0u32, 0u32);
-            for seed in 0..reps {
-                let r = run_election(&graph, &cfg, 500 + seed);
-                match r.leaders.len() {
-                    0 => zero += 1,
-                    1 => one += 1,
-                    _ => many += 1,
-                }
-            }
+            let campaign = Campaign::new(Election::on(&graph).config(cfg))
+                .label(fam.name())
+                .seeds(500..500 + reps)
+                .run()
+                .expect("experiment configs are valid");
+            let s = campaign.summary();
             table.push_strings(vec![
                 fam.name().into(),
                 graph.n().to_string(),
-                reps.to_string(),
-                zero.to_string(),
-                one.to_string(),
-                many.to_string(),
-                format!("{:.2}", one as f64 / reps as f64),
+                s.trials.to_string(),
+                s.no_leader.to_string(),
+                s.successes.to_string(),
+                s.multi_leader.to_string(),
+                format!("{:.2}", s.success_rate()),
             ]);
         }
     }

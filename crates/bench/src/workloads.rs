@@ -63,6 +63,15 @@ impl Family {
         }
         cfg
     }
+
+    /// The `(label, graph, config)` triple consumed by
+    /// [`welle_core::Campaign::families`]: this family at approximately
+    /// `n` nodes with its standard configuration.
+    pub fn scenario(self, n: usize, seed: u64) -> (String, Arc<Graph>, ElectionConfig) {
+        let graph = self.build(n, seed);
+        let cfg = self.election_config(graph.n());
+        (self.name().to_string(), graph, cfg)
+    }
 }
 
 /// The default seeds used for Monte-Carlo repetitions.

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use welle_graph::Graph;
 
 use crate::config::ElectionConfig;
-use crate::runner::{run_election, ElectionReport};
+use crate::election::Election;
+use crate::runner::ElectionReport;
 
 /// Runs the known-`t_mix` single-phase election.
 ///
@@ -26,7 +27,11 @@ pub fn run_known_tmix_election(
         fixed_walk_len: Some(tmix.saturating_mul(c3).max(1)),
         ..*base
     };
-    run_election(graph, &cfg, seed)
+    Election::on(graph)
+        .config(cfg)
+        .seed(seed)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -69,7 +74,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let g = Arc::new(gen::random_regular(128, 4, &mut rng).unwrap());
         let base = ElectionConfig::tuned_for_simulation(128);
-        let unknown = run_election(&g, &base, 5);
+        let unknown = Election::on(&g).config(base).seed(5).run().unwrap();
         assert!(unknown.is_success());
         let known = run_known_tmix_election(&g, &base, unknown.final_walk_len, 1, 5);
         assert!(known.is_success());

@@ -198,7 +198,11 @@ pub fn run_explicit_election(
     broadcast_horizon: u64,
     seed: u64,
 ) -> ExplicitReport {
-    let election = crate::runner::run_election(graph, cfg, seed);
+    let election = crate::election::Election::on(graph)
+        .config(*cfg)
+        .seed(seed)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
     let broadcast = match (&election.leaders[..], election.leader_id) {
         (&[leader], Some(id)) => Some(run_push_pull(
             graph,

@@ -1,0 +1,572 @@
+//! The [`Campaign`] batch layer: one election prototype, many seeds and
+//! graph families, aggregate statistics out.
+//!
+//! Every hand-rolled "for seed in … { run; tally }" loop in the
+//! experiment binaries, examples, and the CLI is this type now:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use welle_core::{Campaign, Election, ElectionConfig};
+//! use welle_graph::gen;
+//!
+//! let g = Arc::new(gen::hypercube(7).unwrap());
+//! let cfg = ElectionConfig::tuned_for_simulation(g.n());
+//! let outcome = Campaign::new(Election::on(&g).config(cfg))
+//!     .label("hypercube")
+//!     .seeds(0..20)
+//!     .run()
+//!     .unwrap();
+//! let s = outcome.summary();
+//! println!("{s}");
+//! assert!(s.success_rate() > 0.9);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use welle_congest::{NoopObserver, TransmitObserver};
+use welle_graph::Graph;
+
+use crate::config::{ElectionConfig, Params};
+use crate::election::{Election, Exec};
+use crate::error::ConfigError;
+use crate::runner::{run_resolved, ElectionReport};
+
+/// Per-trial streaming callback ([`Campaign::on_trial`]).
+type TrialHook<'o> = Box<dyn FnMut(&Trial) + 'o>;
+
+/// One (graph, config) pair swept by a campaign.
+struct Scenario {
+    label: String,
+    graph: Arc<Graph>,
+    cfg: ElectionConfig,
+    /// Parameter-derivation override ([`Election::believing_n`]),
+    /// carried over from the prototype only.
+    believed_n: Option<usize>,
+}
+
+/// One completed election within a campaign.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// Label of the scenario this trial belongs to.
+    pub scenario: String,
+    /// The seed the election ran with.
+    pub seed: u64,
+    /// The full per-run report.
+    pub report: ElectionReport,
+}
+
+/// `min`/`median`/`max`/`mean` of one metric across a scenario's trials.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Smallest observed value.
+    pub min: u64,
+    /// Median (mean of the two middle values, rounded down, for even
+    /// counts).
+    pub median: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Stats {
+    fn of(values: &mut [u64]) -> Stats {
+        if values.is_empty() {
+            return Stats {
+                min: 0,
+                median: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        values.sort_unstable();
+        let mid = values.len() / 2;
+        let median = if values.len() % 2 == 1 {
+            values[mid]
+        } else {
+            values[mid - 1] / 2 + values[mid] / 2 + (values[mid - 1] % 2 + values[mid] % 2) / 2
+        };
+        Stats {
+            min: values[0],
+            median,
+            max: values[values.len() - 1],
+            mean: values.iter().sum::<u64>() as f64 / values.len() as f64,
+        }
+    }
+}
+
+/// Aggregate statistics for one scenario of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    /// The scenario label.
+    pub scenario: String,
+    /// Nodes in the scenario's graph.
+    pub n: usize,
+    /// Edges in the scenario's graph.
+    pub m: usize,
+    /// Trials run (seeds).
+    pub trials: usize,
+    /// Trials that elected exactly one leader.
+    pub successes: usize,
+    /// Trials that elected no leader.
+    pub no_leader: usize,
+    /// Trials that elected more than one leader (must be ~never).
+    pub multi_leader: usize,
+    /// Total contenders that hit the walk cap unsatisfied, across trials.
+    pub gave_up: usize,
+    /// Message-count statistics across trials.
+    pub messages: Stats,
+    /// Engine-round statistics across trials.
+    pub rounds: Stats,
+}
+
+impl CampaignSummary {
+    /// Fraction of trials that elected exactly one leader.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The CSV column names matching [`CampaignSummary::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "scenario,n,m,trials,successes,no_leader,multi_leader,gave_up,\
+         msgs_min,msgs_median,msgs_max,rounds_min,rounds_median,rounds_max"
+    }
+
+    /// This summary as one CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.scenario,
+            self.n,
+            self.m,
+            self.trials,
+            self.successes,
+            self.no_leader,
+            self.multi_leader,
+            self.gave_up,
+            self.messages.min,
+            self.messages.median,
+            self.messages.max,
+            self.rounds.min,
+            self.rounds.median,
+            self.rounds.max,
+        )
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} m={} | {}/{} unique leader ({} zero, {} multi, {} gave up) | \
+             msgs {}/{}/{} | rounds {}/{}/{} (min/median/max)",
+            self.scenario,
+            self.n,
+            self.m,
+            self.successes,
+            self.trials,
+            self.no_leader,
+            self.multi_leader,
+            self.gave_up,
+            self.messages.min,
+            self.messages.median,
+            self.messages.max,
+            self.rounds.min,
+            self.rounds.median,
+            self.rounds.max,
+        )
+    }
+}
+
+/// Everything a campaign produced: the per-trial reports in run order
+/// (scenario-major, then seed), and one [`CampaignSummary`] per scenario.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Every trial, in run order.
+    pub trials: Vec<Trial>,
+    /// One aggregate per scenario, in scenario order.
+    pub summaries: Vec<CampaignSummary>,
+}
+
+impl CampaignReport {
+    /// The first scenario's summary — the campaign's headline when it
+    /// swept a single scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign had no scenarios (impossible via
+    /// [`Campaign::new`]).
+    pub fn summary(&self) -> &CampaignSummary {
+        &self.summaries[0]
+    }
+
+    /// Iterates the trials of one scenario.
+    pub fn trials_of<'a>(&'a self, scenario: &'a str) -> impl Iterator<Item = &'a Trial> {
+        self.trials.iter().filter(move |t| t.scenario == scenario)
+    }
+}
+
+/// Batch runner: a prototype [`Election`] swept over seeds and graph
+/// families.
+///
+/// The prototype's graph and config become the first scenario; more
+/// scenarios join via [`Campaign::scenario`] / [`Campaign::families`].
+/// Every trial funnels through the same single code path as
+/// [`Election::run`], so campaign results are bit-identical to the
+/// corresponding individual runs.
+#[must_use = "a Campaign does nothing until .run() is called"]
+pub struct Campaign<'o> {
+    scenarios: Vec<Scenario>,
+    seeds: Vec<u64>,
+    exec: Exec,
+    obs: Option<&'o mut dyn TransmitObserver>,
+    on_trial: Option<TrialHook<'o>>,
+}
+
+impl<'o> Campaign<'o> {
+    /// Builds a campaign from a prototype election. The prototype's seed
+    /// becomes the default (single) seed until [`Campaign::seeds`]
+    /// replaces it; its executor choice applies to every trial, and a
+    /// [`Election::believing_n`] override applies to the prototype's
+    /// scenario (later scenarios derive from their own graphs).
+    pub fn new(proto: Election<'_, 'o>) -> Self {
+        let Election {
+            graph,
+            cfg,
+            seed,
+            exec,
+            believed_n,
+            obs,
+        } = proto;
+        Campaign {
+            scenarios: vec![Scenario {
+                label: "base".into(),
+                graph: Arc::clone(graph),
+                cfg,
+                believed_n,
+            }],
+            seeds: vec![seed],
+            exec,
+            obs,
+            on_trial: None,
+        }
+    }
+
+    /// Streams each completed [`Trial`] to `f` as the sweep runs —
+    /// progress lines for long campaigns, instead of silence until the
+    /// whole batch returns.
+    pub fn on_trial(mut self, f: impl FnMut(&Trial) + 'o) -> Self {
+        self.on_trial = Some(Box::new(f));
+        self
+    }
+
+    /// Renames the most recently added scenario (the prototype's, unless
+    /// [`Campaign::scenario`] was called since).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        if let Some(s) = self.scenarios.last_mut() {
+            s.label = label.into();
+        }
+        self
+    }
+
+    /// Replaces the seed set. Each scenario runs once per seed.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Overrides the executor choice for every trial.
+    pub fn executor(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Appends one more scenario.
+    pub fn scenario(
+        mut self,
+        label: impl Into<String>,
+        graph: &Arc<Graph>,
+        cfg: ElectionConfig,
+    ) -> Self {
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            graph: Arc::clone(graph),
+            cfg,
+            believed_n: None,
+        });
+        self
+    }
+
+    /// Appends a whole family sweep: one scenario per `(label, graph,
+    /// config)` triple.
+    pub fn families(
+        mut self,
+        families: impl IntoIterator<Item = (String, Arc<Graph>, ElectionConfig)>,
+    ) -> Self {
+        for (label, graph, cfg) in families {
+            self.scenarios.push(Scenario {
+                label,
+                graph,
+                cfg,
+                believed_n: None,
+            });
+        }
+        self
+    }
+
+    /// Drops the prototype scenario, keeping only scenarios added via
+    /// [`Campaign::scenario`] / [`Campaign::families`] — for sweeps
+    /// where the prototype graph was only a seed-carrier.
+    pub fn without_base(mut self) -> Self {
+        if self.scenarios.len() > 1 {
+            self.scenarios.remove(0);
+        }
+        self
+    }
+
+    /// Validates every scenario up front, then runs the full sweep
+    /// (scenario-major, then seed order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] among the scenarios — checked
+    /// before anything is simulated — or [`ConfigError::NoSeeds`] for an
+    /// empty seed set.
+    pub fn run(mut self) -> Result<CampaignReport, ConfigError> {
+        if self.seeds.is_empty() {
+            return Err(ConfigError::NoSeeds);
+        }
+        // Validate everything before simulating anything: a campaign
+        // must not die half-way through on a typo in scenario 7.
+        let mut prepared = Vec::with_capacity(self.scenarios.len());
+        for s in &self.scenarios {
+            let n = s.believed_n.unwrap_or_else(|| s.graph.n());
+            let params = Arc::new(Params::try_derive(n, s.cfg)?);
+            let threads = self.exec.threads(&s.graph)?;
+            prepared.push((params, threads));
+        }
+
+        let mut noop = NoopObserver;
+        let mut trials = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
+        let mut summaries = Vec::with_capacity(self.scenarios.len());
+        for (s, (params, threads)) in self.scenarios.iter().zip(prepared) {
+            let mut messages = Vec::with_capacity(self.seeds.len());
+            let mut rounds = Vec::with_capacity(self.seeds.len());
+            let mut summary = CampaignSummary {
+                scenario: s.label.clone(),
+                n: s.graph.n(),
+                m: s.graph.m(),
+                trials: self.seeds.len(),
+                successes: 0,
+                no_leader: 0,
+                multi_leader: 0,
+                gave_up: 0,
+                messages: Stats::of(&mut []),
+                rounds: Stats::of(&mut []),
+            };
+            for &seed in &self.seeds {
+                let obs: &mut dyn TransmitObserver = match self.obs.as_deref_mut() {
+                    Some(o) => o,
+                    None => &mut noop,
+                };
+                let report = run_resolved(&s.graph, Arc::clone(&params), threads, seed, obs);
+                match report.leaders.len() {
+                    0 => summary.no_leader += 1,
+                    1 => summary.successes += 1,
+                    _ => summary.multi_leader += 1,
+                }
+                summary.gave_up += report.gave_up;
+                messages.push(report.messages);
+                rounds.push(report.engine_rounds);
+                let trial = Trial {
+                    scenario: s.label.clone(),
+                    seed,
+                    report,
+                };
+                if let Some(f) = self.on_trial.as_mut() {
+                    f(&trial);
+                }
+                trials.push(trial);
+            }
+            summary.messages = Stats::of(&mut messages);
+            summary.rounds = Stats::of(&mut rounds);
+            summaries.push(summary);
+        }
+        Ok(CampaignReport { trials, summaries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use welle_graph::gen;
+
+    fn graph() -> Arc<Graph> {
+        Arc::new(gen::hypercube(6).unwrap())
+    }
+
+    #[test]
+    fn campaign_matches_individual_elections() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .seeds(0..4)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.trials.len(), 4);
+        for t in &outcome.trials {
+            let solo = Election::on(&g).config(cfg).seed(t.seed).run().unwrap();
+            assert_eq!(solo.leaders, t.report.leaders);
+            assert_eq!(solo.messages, t.report.messages);
+            assert_eq!(solo.engine_rounds, t.report.engine_rounds);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_correctly() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .label("q6")
+            .seeds(0..5)
+            .run()
+            .unwrap();
+        let s = outcome.summary();
+        assert_eq!(s.scenario, "q6");
+        assert_eq!(s.trials, 5);
+        assert_eq!(s.successes + s.no_leader + s.multi_leader, 5);
+        let mut msgs: Vec<u64> = outcome.trials.iter().map(|t| t.report.messages).collect();
+        msgs.sort_unstable();
+        assert_eq!(s.messages.min, msgs[0]);
+        assert_eq!(s.messages.max, msgs[4]);
+        assert_eq!(s.messages.median, msgs[2]);
+        assert!(s.messages.min <= s.messages.median && s.messages.median <= s.messages.max);
+        assert!((s.success_rate() - s.successes as f64 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn families_sweep_multiple_scenarios() {
+        let g = graph();
+        let clique = Arc::new(gen::clique(32).unwrap());
+        let cfg_g = ElectionConfig::tuned_for_simulation(64);
+        let cfg_c = ElectionConfig::tuned_for_simulation(32);
+        let outcome = Campaign::new(Election::on(&g).config(cfg_g))
+            .label("hypercube")
+            .families([("clique".to_string(), Arc::clone(&clique), cfg_c)])
+            .seeds([1, 2])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.summaries.len(), 2);
+        assert_eq!(outcome.trials.len(), 4);
+        assert_eq!(outcome.trials_of("clique").count(), 2);
+        assert_eq!(outcome.summaries[1].n, 32);
+    }
+
+    #[test]
+    fn without_base_drops_the_prototype_scenario() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .families([("only".to_string(), Arc::clone(&g), cfg)])
+            .without_base()
+            .seeds([3])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.summaries.len(), 1);
+        assert_eq!(outcome.summary().scenario, "only");
+    }
+
+    #[test]
+    fn invalid_scenario_fails_before_running() {
+        let g = graph();
+        let bad = ElectionConfig {
+            c2: -1.0,
+            ..ElectionConfig::default()
+        };
+        let err = Campaign::new(Election::on(&g))
+            .scenario("bad", &g, bad)
+            .seeds(0..1000) // would be expensive if it ran anything
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadConstant { name: "c2", .. }));
+        let err = Campaign::new(Election::on(&g)).seeds([]).run().unwrap_err();
+        assert_eq!(err, ConfigError::NoSeeds);
+    }
+
+    #[test]
+    fn display_and_csv_are_consistent() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .label("disp")
+            .seeds(0..3)
+            .run()
+            .unwrap();
+        let s = outcome.summary();
+        let line = s.to_string();
+        assert!(line.starts_with("disp: "));
+        assert!(line.contains(&format!("{}/{} unique leader", s.successes, s.trials)));
+        assert_eq!(
+            s.csv_row().split(',').count(),
+            CampaignSummary::csv_header().split(',').count()
+        );
+    }
+
+    #[test]
+    fn on_trial_streams_every_completed_run_in_order() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let mut seen = Vec::new();
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .seeds(0..3)
+            .on_trial(|t| seen.push((t.seed, t.report.messages)))
+            .run()
+            .unwrap();
+        let expected: Vec<_> = outcome
+            .trials
+            .iter()
+            .map(|t| (t.seed, t.report.messages))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn prototype_believing_n_is_honored() {
+        let g = graph(); // 64 nodes
+        let cfg = ElectionConfig::tuned_for_simulation(32);
+        let solo = Election::on(&g)
+            .config(cfg)
+            .believing_n(32)
+            .seed(5)
+            .run()
+            .unwrap();
+        let outcome = Campaign::new(Election::on(&g).config(cfg).believing_n(32).seed(5))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.trials[0].report.messages, solo.messages);
+        assert_eq!(outcome.trials[0].report.leaders, solo.leaders);
+        // And without the override, the same seed derives different
+        // parameters (actual n = 64) and a different execution.
+        let plain = Campaign::new(Election::on(&g).config(cfg).seed(5))
+            .run()
+            .unwrap();
+        assert_ne!(plain.trials[0].report.messages, solo.messages);
+    }
+
+    #[test]
+    fn stats_median_of_even_counts_averages_the_middles() {
+        let mut v = [4u64, 1, 3, 2];
+        let s = Stats::of(&mut v);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 2); // (2 + 3) / 2 rounded down
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        let mut odd = [5u64, 1, 9];
+        assert_eq!(Stats::of(&mut odd).median, 5);
+    }
+}

@@ -2,6 +2,8 @@
 
 use welle_congest::bits_for;
 
+use crate::error::ConfigError;
+
 /// Message-size regime (Lemma 12 analyses both).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum MsgSizeMode {
@@ -95,6 +97,31 @@ impl ElectionConfig {
             ..ElectionConfig::default()
         }
     }
+
+    /// Checks the configuration against a network of `n` nodes without
+    /// deriving anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: a non-finite or
+    /// non-positive tuning constant, a zero walk cap, or `n < 2`.
+    pub fn validate(&self, n: usize) -> Result<(), ConfigError> {
+        for (name, value) in [("c1", self.c1), ("c2", self.c2), ("c_t", self.c_t)] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::BadConstant { name, value });
+            }
+        }
+        if self.max_walk_len == Some(0) {
+            return Err(ConfigError::ZeroWalkCap);
+        }
+        if self.fixed_walk_len == Some(0) {
+            return Err(ConfigError::ZeroFixedWalk);
+        }
+        if n < 2 {
+            return Err(ConfigError::TooFewNodes { n });
+        }
+        Ok(())
+    }
 }
 
 /// The five segments of one guess-and-double epoch.
@@ -161,9 +188,23 @@ impl Params {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2`.
+    /// Panics on any configuration [`ElectionConfig::validate`] rejects
+    /// (notably `n < 2`). Fallible callers — the [`Election`] builder
+    /// among them — use [`Params::try_derive`].
+    ///
+    /// [`Election`]: crate::Election
     pub fn derive(n: usize, cfg: ElectionConfig) -> Params {
-        assert!(n >= 2, "election needs at least two nodes");
+        Params::try_derive(n, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Derives all parameters for a network of `n` nodes, reporting
+    /// invalid configurations as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`ElectionConfig::validate`] rejects.
+    pub fn try_derive(n: usize, cfg: ElectionConfig) -> Result<Params, ConfigError> {
+        cfg.validate(n)?;
         let ln_n = (n as f64).ln().max(1.0);
         let contender_prob = (cfg.c1 * ln_n / n as f64).min(1.0);
         // Small-n regularization (documented in DESIGN.md §3): the paper's
@@ -233,7 +274,7 @@ impl Params {
             starts.push(acc);
         }
         params.epoch_starts = starts;
-        params
+        Ok(params)
     }
 
     /// Walk length `t_u` of epoch `e` (`2^e`, or the fixed baseline
@@ -374,5 +415,46 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn rejects_tiny_n() {
         let _ = Params::derive(1, ElectionConfig::default());
+    }
+
+    #[test]
+    fn try_derive_rejects_bad_constants() {
+        for (patch, name) in [
+            (ElectionConfig { c1: f64::NAN, ..ElectionConfig::default() }, "c1"),
+            (ElectionConfig { c1: 0.0, ..ElectionConfig::default() }, "c1"),
+            (ElectionConfig { c2: -1.0, ..ElectionConfig::default() }, "c2"),
+            (ElectionConfig { c2: f64::INFINITY, ..ElectionConfig::default() }, "c2"),
+            (ElectionConfig { c_t: 0.0, ..ElectionConfig::default() }, "c_t"),
+        ] {
+            match Params::try_derive(64, patch) {
+                Err(ConfigError::BadConstant { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("{name}: expected BadConstant, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_derive_rejects_zero_walk_caps_and_tiny_n() {
+        let zero_cap = ElectionConfig {
+            max_walk_len: Some(0),
+            ..ElectionConfig::default()
+        };
+        assert_eq!(
+            Params::try_derive(64, zero_cap).unwrap_err(),
+            ConfigError::ZeroWalkCap
+        );
+        let zero_fixed = ElectionConfig {
+            fixed_walk_len: Some(0),
+            ..ElectionConfig::default()
+        };
+        assert_eq!(
+            Params::try_derive(64, zero_fixed).unwrap_err(),
+            ConfigError::ZeroFixedWalk
+        );
+        assert_eq!(
+            Params::try_derive(1, ElectionConfig::default()).unwrap_err(),
+            ConfigError::TooFewNodes { n: 1 }
+        );
+        assert!(Params::try_derive(2, ElectionConfig::default()).is_ok());
     }
 }

@@ -1,0 +1,293 @@
+//! The [`Election`] builder — the one entry point for running a single
+//! election on any executor, with or without an observer.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use welle_core::{Election, ElectionConfig, Exec};
+//! use welle_graph::gen;
+//!
+//! let g = Arc::new(gen::hypercube(6).unwrap());
+//! let report = Election::on(&g)
+//!     .config(ElectionConfig::tuned_for_simulation(g.n()))
+//!     .seed(7)
+//!     .executor(Exec::Auto)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.is_success());
+//! ```
+
+use std::sync::Arc;
+
+use welle_congest::{NoopObserver, TransmitObserver};
+use welle_graph::Graph;
+
+use crate::config::{ElectionConfig, Params};
+use crate::error::ConfigError;
+use crate::runner::{run_resolved, ElectionReport};
+
+/// Which CONGEST executor drives the election.
+///
+/// Both executors are bit-identical on the same `(graph, config, seed)`
+/// — the choice is purely a wall-clock trade-off. The crossover measured
+/// on this project's hardware is recorded in `BENCH_NOTES.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// Pick for me: the serial event-driven engine, unless the network
+    /// is large (`n ≥ 10⁴`) *and* dense enough to keep every shard busy
+    /// (average degree ≥ 3) *and* the host actually has spare cores —
+    /// then the sharded engine with one worker per core (capped at 8).
+    #[default]
+    Auto,
+    /// The serial event-driven [`welle_congest::Engine`]: skips idle
+    /// nodes, best for small or sparse networks (and single-core hosts).
+    Serial,
+    /// The sharded [`welle_congest::ThreadedEngine`] with this many
+    /// worker threads (must be ≥ 1; a 1-worker `ThreadedEngine` runs
+    /// its rounds inline on its inner serial engine).
+    Threaded(usize),
+}
+
+impl Exec {
+    /// Resolves `Auto` against a concrete graph and host, yielding
+    /// either `Serial` or `Threaded(k ≥ 1)`.
+    pub fn resolve(self, graph: &Graph) -> Exec {
+        match self {
+            Exec::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+                let n = graph.n();
+                let avg_deg = if n == 0 {
+                    0.0
+                } else {
+                    2.0 * graph.m() as f64 / n as f64
+                };
+                if cores >= 2 && n >= 10_000 && avg_deg >= 3.0 {
+                    Exec::Threaded(cores.min(8))
+                } else {
+                    Exec::Serial
+                }
+            }
+            fixed => fixed,
+        }
+    }
+
+    /// Worker-thread count for the resolved choice (`None` = serial).
+    ///
+    /// # Errors
+    ///
+    /// `Threaded(0)` is a [`ConfigError::ZeroThreads`].
+    pub(crate) fn threads(self, graph: &Graph) -> Result<Option<usize>, ConfigError> {
+        match self.resolve(graph) {
+            Exec::Serial => Ok(None),
+            Exec::Threaded(0) => Err(ConfigError::ZeroThreads),
+            Exec::Threaded(k) => Ok(Some(k)),
+            Exec::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+}
+
+/// Builder for a single election run: graph in, [`ElectionReport`] out.
+///
+/// Construct with [`Election::on`], chain the knobs you care about —
+/// every one has a default — and finish with [`Election::run`]. Batch
+/// runs over many seeds or graphs belong to
+/// [`Campaign`](crate::Campaign), which consumes one of these builders
+/// as its prototype.
+#[must_use = "an Election does nothing until .run() is called"]
+pub struct Election<'g, 'o> {
+    pub(crate) graph: &'g Arc<Graph>,
+    pub(crate) cfg: ElectionConfig,
+    pub(crate) seed: u64,
+    pub(crate) exec: Exec,
+    pub(crate) believed_n: Option<usize>,
+    pub(crate) obs: Option<&'o mut dyn TransmitObserver>,
+}
+
+impl<'g, 'o> Election<'g, 'o> {
+    /// Starts a builder for an election on `graph` with the
+    /// paper-faithful [`ElectionConfig::default`], seed 0, and
+    /// [`Exec::Auto`].
+    pub fn on(graph: &'g Arc<Graph>) -> Self {
+        Election {
+            graph,
+            cfg: ElectionConfig::default(),
+            seed: 0,
+            exec: Exec::Auto,
+            believed_n: None,
+            obs: None,
+        }
+    }
+
+    /// Sets the election configuration (see
+    /// [`ElectionConfig::tuned_for_simulation`] for the usual choice at
+    /// simulation scale).
+    pub fn config(mut self, cfg: ElectionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the run seed (drives every coin the protocol flips).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the executor choice.
+    pub fn executor(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Reports every transmission to `obs` (traffic classification in
+    /// the lower-bound experiments, invariant checks in tests).
+    pub fn observer(mut self, obs: &'o mut dyn TransmitObserver) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Derives parameters as if the network had `n` nodes, regardless of
+    /// the actual graph size — the §5 "n is not known" experiments run
+    /// a dumbbell where every node believes it lives on one half.
+    pub fn believing_n(mut self, n: usize) -> Self {
+        self.believed_n = Some(n);
+        self
+    }
+
+    /// The graph this election will run on.
+    pub fn graph(&self) -> &'g Arc<Graph> {
+        self.graph
+    }
+
+    /// Validates the configuration, picks the executor, and runs the
+    /// election.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for any configuration
+    /// [`ElectionConfig::validate`] rejects, or for
+    /// [`Exec::Threaded`]`(0)`. Nothing is simulated on error.
+    pub fn run(self) -> Result<ElectionReport, ConfigError> {
+        let Election {
+            graph,
+            cfg,
+            seed,
+            exec,
+            believed_n,
+            obs,
+        } = self;
+        let n = believed_n.unwrap_or_else(|| graph.n());
+        let params = Arc::new(Params::try_derive(n, cfg)?);
+        let threads = exec.threads(graph)?;
+        let mut noop = NoopObserver;
+        let obs: &mut dyn TransmitObserver = match obs {
+            Some(o) => o,
+            None => &mut noop,
+        };
+        Ok(run_resolved(graph, params, threads, seed, obs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use welle_graph::gen;
+
+    fn graph() -> Arc<Graph> {
+        Arc::new(gen::hypercube(6).unwrap())
+    }
+
+    #[test]
+    fn builder_runs_with_defaults() {
+        let g = graph();
+        let report = Election::on(&g).seed(7).run().unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.n, 64);
+    }
+
+    #[test]
+    fn builder_rejects_bad_config_without_running() {
+        let g = graph();
+        let err = Election::on(&g)
+            .config(ElectionConfig {
+                c1: f64::NAN,
+                ..ElectionConfig::default()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadConstant { name: "c1", .. }));
+        let err = Election::on(&g)
+            .config(ElectionConfig {
+                max_walk_len: Some(0),
+                ..ElectionConfig::default()
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWalkCap);
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error() {
+        let g = graph();
+        let err = Election::on(&g)
+            .executor(Exec::Threaded(0))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroThreads);
+    }
+
+    #[test]
+    fn executors_are_bit_identical() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let runs: Vec<_> = [Exec::Auto, Exec::Serial, Exec::Threaded(3)]
+            .into_iter()
+            .map(|exec| {
+                Election::on(&g)
+                    .config(cfg)
+                    .seed(11)
+                    .executor(exec)
+                    .run()
+                    .unwrap()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.leaders, runs[0].leaders);
+            assert_eq!(r.messages, runs[0].messages);
+            assert_eq!(r.engine_rounds, runs[0].engine_rounds);
+        }
+    }
+
+    #[test]
+    fn auto_resolves_serial_on_small_graphs() {
+        let g = graph();
+        assert_eq!(Exec::Auto.resolve(&g), Exec::Serial);
+        assert_eq!(Exec::Threaded(4).resolve(&g), Exec::Threaded(4));
+    }
+
+    #[test]
+    fn observer_sees_every_message() {
+        let g = graph();
+        let mut count = 0u64;
+        let mut obs = |_ev: &welle_congest::TransmitEvent| count += 1;
+        let report = Election::on(&g)
+            .config(ElectionConfig::tuned_for_simulation(64))
+            .seed(3)
+            .observer(&mut obs)
+            .run()
+            .unwrap();
+        assert_eq!(count, report.messages);
+    }
+
+    #[test]
+    fn believing_n_overrides_parameter_derivation() {
+        let g = graph();
+        // Params derived for n = 32 on a 64-node graph: the run completes
+        // and reports the *actual* graph size.
+        let report = Election::on(&g)
+            .config(ElectionConfig::tuned_for_simulation(32))
+            .believing_n(32)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(report.n, 64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed configuration-validation errors.
+//!
+//! Every way an [`ElectionConfig`](crate::ElectionConfig) can be
+//! nonsensical is caught when parameters are derived — at
+//! [`Election`](crate::Election) builder time or in
+//! [`Params::try_derive`](crate::Params::try_derive) — and reported as a
+//! [`ConfigError`] instead of a panic or garbage parameters.
+
+use std::error::Error;
+use std::fmt;
+
+/// A validation failure in an election configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// One of the tuning constants (`c1`, `c2`, `c_t`) is NaN, infinite,
+    /// or not strictly positive. Tail-event injection (a contender
+    /// probability of effectively zero) uses a tiny positive `c1`, not
+    /// `c1 = 0`.
+    BadConstant {
+        /// The field name (`"c1"`, `"c2"`, or `"c_t"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_walk_len == Some(0)`: a zero-step walk can never leave its
+    /// origin, so the guess-and-double search would give up immediately
+    /// while looking like a real run.
+    ZeroWalkCap,
+    /// `fixed_walk_len == Some(0)`: the Kutten et al. baseline needs at
+    /// least a 1-step walk.
+    ZeroFixedWalk,
+    /// The network has fewer than two nodes; an election needs company.
+    TooFewNodes {
+        /// The offending network size.
+        n: usize,
+    },
+    /// [`Exec::Threaded`](crate::Exec::Threaded) was given zero worker
+    /// threads.
+    ZeroThreads,
+    /// A [`Campaign`](crate::Campaign) was asked to run with no seeds.
+    NoSeeds,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadConstant { name, value } => write!(
+                f,
+                "election constant {name} must be finite and positive, got {value}"
+            ),
+            ConfigError::ZeroWalkCap => {
+                write!(f, "max_walk_len = Some(0): walks need at least one step")
+            }
+            ConfigError::ZeroFixedWalk => {
+                write!(f, "fixed_walk_len = Some(0): walks need at least one step")
+            }
+            ConfigError::TooFewNodes { n } => {
+                write!(f, "election needs at least two nodes, got n = {n}")
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "Exec::Threaded needs at least one worker thread")
+            }
+            ConfigError::NoSeeds => write!(f, "campaign has no seeds to run"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = ConfigError::BadConstant {
+            name: "c2",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("c2"));
+        assert!(ConfigError::TooFewNodes { n: 1 }
+            .to_string()
+            .contains("at least two nodes"));
+    }
+}

@@ -12,25 +12,61 @@
 //! `welle-congest`: anonymous port-numbered nodes, one message per
 //! directed edge per round (excess serializes as congestion), and a
 //! per-message bit budget (`EngineConfig::bandwidth_bits`, derived in
-//! [`Params`] as `O(log n)` bits — ids are `4⌈log₂ n⌉` bits). Elections
-//! run on either executor via [`run_election`] (serial) or
-//! [`run_election_threaded`] (sharded) with bit-identical results.
+//! [`Params`] as `O(log n)` bits — ids are `4⌈log₂ n⌉` bits).
 //!
 //! # Quick start
 //!
+//! One election = one [`Election`] builder. Pick an executor with
+//! [`Exec`] (or let [`Exec::Auto`] choose from `n`, density, and the
+//! host's cores — both executors are bit-identical), attach a
+//! [`TransmitObserver`](welle_congest::TransmitObserver) if you want the
+//! raw traffic, and `run()`:
+//!
 //! ```no_run
 //! use std::sync::Arc;
-//! use welle_core::{run_election, ElectionConfig, SyncMode};
+//! use welle_core::{Election, ElectionConfig, Exec, SyncMode};
 //! use welle_graph::gen;
 //! use rand::{SeedableRng, rngs::StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let g = Arc::new(gen::random_regular(256, 4, &mut rng).unwrap());
-//! let cfg = ElectionConfig { sync: SyncMode::Adaptive, ..Default::default() };
-//! let report = run_election(&g, &cfg, 7);
+//! let report = Election::on(&g)
+//!     .config(ElectionConfig { sync: SyncMode::Adaptive, ..Default::default() })
+//!     .seed(7)
+//!     .executor(Exec::Auto)
+//!     .run()
+//!     .expect("valid configuration");
 //! assert!(report.is_success());
 //! println!("leader id {:?} after {} messages", report.leader_id, report.messages);
 //! ```
+//!
+//! Batch runs — many seeds, many graph families — are a [`Campaign`]
+//! over a prototype builder; it returns per-trial
+//! [`ElectionReport`]s plus one [`CampaignSummary`] per scenario:
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use welle_core::{Campaign, Election, ElectionConfig};
+//! # use welle_graph::gen;
+//! let g = Arc::new(gen::hypercube(7).unwrap());
+//! let cfg = ElectionConfig::tuned_for_simulation(g.n());
+//! let outcome = Campaign::new(Election::on(&g).config(cfg))
+//!     .label("hypercube")
+//!     .seeds(0..20)
+//!     .run()
+//!     .expect("valid configuration");
+//! println!("{}", outcome.summary()); // success rate, msg/round min/median/max
+//! ```
+//!
+//! Invalid configurations (non-finite constants, zero walk caps,
+//! `n < 2`) surface as a typed [`ConfigError`] from the builder before
+//! anything is simulated.
+//!
+//! The pre-builder free functions ([`run_election`],
+//! [`run_election_observed`], [`run_election_threaded`],
+//! [`run_election_threaded_observed`]) still exist as thin deprecated
+//! shims over [`Election`] and will be removed once downstream callers
+//! have migrated.
 //!
 //! Besides the core algorithm the crate ships the explicit-election stage
 //! ([`broadcast`], Corollary 14) and the paper's comparison baselines
@@ -40,7 +76,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod config;
+mod election;
+mod error;
 mod msg;
 mod protocol;
 mod runner;
@@ -49,11 +88,16 @@ mod state;
 pub mod baselines;
 pub mod broadcast;
 
+pub use campaign::{Campaign, CampaignReport, CampaignSummary, Stats, Trial};
 pub use config::{ElectionConfig, MsgSizeMode, Params, Phase, SyncMode};
+pub use election::{Election, Exec};
+pub use error::ConfigError;
 pub use msg::{ElectionMsg, FwdItem, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
+#[allow(deprecated)]
 pub use runner::{
     run_election, run_election_observed, run_election_threaded,
-    run_election_threaded_observed, ElectionReport,
+    run_election_threaded_observed,
 };
+pub use runner::ElectionReport;
 pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

@@ -1,13 +1,16 @@
-//! High-level drivers: build an engine, run the election, summarize.
+//! The single engine-driving path behind [`Election`](crate::Election)
+//! and [`Campaign`](crate::Campaign), the [`ElectionReport`] summary, and
+//! the deprecated free-function shims.
 
 use std::sync::Arc;
 
 use welle_congest::{
-    Engine, EngineConfig, Executor, NoopObserver, RunOutcome, ThreadedEngine, TransmitObserver,
+    Engine, EngineConfig, Executor, RunOutcome, ThreadedEngine, TransmitObserver,
 };
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params, SyncMode};
+use crate::election::{Election, Exec};
 use crate::protocol::{ElectionNode, SIGNAL_ADVANCE};
 use crate::state::Decision;
 
@@ -55,57 +58,95 @@ impl ElectionReport {
     pub fn is_success(&self) -> bool {
         self.leaders.len() == 1
     }
+
+    /// The CSV column names matching [`ElectionReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "n,m,contenders,leaders,leader_id,messages,bits,decided_round,\
+         engine_rounds,final_walk_len,epochs_used,gave_up,success"
+    }
+
+    /// This report as one CSV row (columns per
+    /// [`ElectionReport::csv_header`]; `leaders` is the leader *count*,
+    /// `leader_id` is empty unless the leader is unique).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.n,
+            self.m,
+            self.contenders,
+            self.leaders.len(),
+            self.leader_id.map_or_else(String::new, |id| id.to_string()),
+            self.messages,
+            self.bits,
+            self.decided_round,
+            self.engine_rounds,
+            self.final_walk_len,
+            self.epochs_used,
+            self.gave_up,
+            self.is_success(),
+        )
+    }
 }
 
 /// Runs implicit leader election on `graph` with a fixed seed.
 ///
-/// See [`ElectionConfig`] for the knobs; the default is the faithful
-/// CONGEST / fixed-`T` configuration of the paper.
-///
 /// ```no_run
 /// use std::sync::Arc;
-/// use welle_core::{run_election, ElectionConfig};
+/// use welle_core::{Election, ElectionConfig};
 /// use welle_graph::gen;
 ///
 /// let g = Arc::new(gen::hypercube(6).unwrap());
-/// let report = run_election(&g, &ElectionConfig::default(), 7);
+/// let report = Election::on(&g).seed(7).run().unwrap();
 /// assert!(report.is_success());
 /// ```
+#[deprecated(note = "use `Election::on(graph).config(*cfg).seed(seed).run()`")]
 pub fn run_election(graph: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
-    run_election_observed(graph, cfg, seed, &mut NoopObserver)
+    Election::on(graph)
+        .config(*cfg)
+        .seed(seed)
+        .executor(Exec::Serial)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`run_election`], reporting every transmission to `obs` (used by
 /// the lower-bound experiments to classify traffic).
+#[deprecated(note = "use `Election::on(graph).observer(obs)…run()`")]
 pub fn run_election_observed(
     graph: &Arc<Graph>,
     cfg: &ElectionConfig,
     seed: u64,
     obs: &mut dyn TransmitObserver,
 ) -> ElectionReport {
-    let (params, engine_cfg) = derive(graph, cfg, seed);
-    let mut engine = Engine::from_fn(Arc::clone(graph), engine_cfg, |_| {
-        ElectionNode::new(Arc::clone(&params))
-    });
-    let outcome = drive(&mut engine, &params, cfg, obs);
-    summarize(&engine, outcome)
+    Election::on(graph)
+        .config(*cfg)
+        .seed(seed)
+        .executor(Exec::Serial)
+        .observer(obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs the election on the dense sharded [`ThreadedEngine`] with
 /// `threads` workers. Execution (leader, messages, rounds) is identical
-/// to [`run_election`] for the same `(graph, cfg, seed)`; use this for
-/// large dense networks (`n ≳ 10⁴`) where scanning all nodes per round
-/// beats the serial engine's event queue.
+/// to [`run_election`] for the same `(graph, cfg, seed)`.
+#[deprecated(note = "use `Election::on(graph).executor(Exec::Threaded(threads))…run()`")]
 pub fn run_election_threaded(
     graph: &Arc<Graph>,
     cfg: &ElectionConfig,
     seed: u64,
     threads: usize,
 ) -> ElectionReport {
-    run_election_threaded_observed(graph, cfg, seed, threads, &mut NoopObserver)
+    Election::on(graph)
+        .config(*cfg)
+        .seed(seed)
+        .executor(Exec::Threaded(threads))
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`run_election_threaded`] with a transmission observer.
+#[deprecated(note = "use `Election::on(graph).executor(Exec::Threaded(threads)).observer(obs)…run()`")]
 pub fn run_election_threaded_observed(
     graph: &Arc<Graph>,
     cfg: &ElectionConfig,
@@ -113,21 +154,47 @@ pub fn run_election_threaded_observed(
     threads: usize,
     obs: &mut dyn TransmitObserver,
 ) -> ElectionReport {
-    let (params, engine_cfg) = derive(graph, cfg, seed);
-    let mut engine = ThreadedEngine::from_fn(Arc::clone(graph), engine_cfg, threads, |_| {
-        ElectionNode::new(Arc::clone(&params))
-    });
-    let outcome = drive(&mut engine, &params, cfg, obs);
-    summarize(&engine, outcome)
+    Election::on(graph)
+        .config(*cfg)
+        .seed(seed)
+        .executor(Exec::Threaded(threads))
+        .observer(obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn derive(graph: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> (Arc<Params>, EngineConfig) {
-    let params = Arc::new(Params::derive(graph.n(), *cfg));
+/// Builds the engine named by `threads` (`None` = serial), drives the
+/// election to completion, and summarizes. The one code path from
+/// validated parameters to [`ElectionReport`]; everything above —
+/// builder, campaign, shims — funnels through here.
+pub(crate) fn run_resolved(
+    graph: &Arc<Graph>,
+    params: Arc<Params>,
+    threads: Option<usize>,
+    seed: u64,
+    obs: &mut dyn TransmitObserver,
+) -> ElectionReport {
     let engine_cfg = EngineConfig {
         seed,
         bandwidth_bits: params.bandwidth_bits,
     };
-    (params, engine_cfg)
+    let cfg = params.cfg;
+    match threads {
+        None => {
+            let mut engine = Engine::from_fn(Arc::clone(graph), engine_cfg, |_| {
+                ElectionNode::new(Arc::clone(&params))
+            });
+            let outcome = drive(&mut engine, &params, &cfg, obs);
+            summarize(&engine, outcome)
+        }
+        Some(k) => {
+            let mut engine = ThreadedEngine::from_fn(Arc::clone(graph), engine_cfg, k, |_| {
+                ElectionNode::new(Arc::clone(&params))
+            });
+            let outcome = drive(&mut engine, &params, &cfg, obs);
+            summarize(&engine, outcome)
+        }
+    }
 }
 
 /// The sync-mode-aware run loop, written once against
@@ -232,12 +299,16 @@ mod tests {
         Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
     }
 
+    fn elect(g: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
+        Election::on(g).config(*cfg).seed(seed).run().unwrap()
+    }
+
     #[test]
     fn elects_unique_leader_on_expander_adaptive() {
         let g = expander(128, 1);
         let cfg = ElectionConfig::tuned_for_simulation(128);
         for seed in [2u64, 3, 4] {
-            let report = run_election(&g, &cfg, seed);
+            let report = elect(&g, &cfg, seed);
             assert!(
                 report.is_success(),
                 "seed {seed}: leaders = {:?}, contenders = {}, gave_up = {}",
@@ -257,7 +328,7 @@ mod tests {
             sync: SyncMode::FixedT,
             ..ElectionConfig::tuned_for_simulation(128)
         };
-        let report = run_election(&g, &cfg, 11);
+        let report = elect(&g, &cfg, 11);
         assert!(
             report.is_success(),
             "leaders = {:?}, gave_up = {}",
@@ -272,7 +343,7 @@ mod tests {
     fn clique_elects_quickly() {
         let g = Arc::new(gen::clique(128).unwrap());
         let cfg = ElectionConfig::tuned_for_simulation(128);
-        let report = run_election(&g, &cfg, 3);
+        let report = elect(&g, &cfg, 3);
         assert!(report.is_success(), "leaders = {:?}", report.leaders);
         // Cliques mix in O(1): the final guess must stay small.
         assert!(
@@ -286,8 +357,8 @@ mod tests {
     fn large_messages_reduce_message_count() {
         let g = expander(128, 9);
         let base = ElectionConfig::tuned_for_simulation(128);
-        let congest = run_election(&g, &base, 17);
-        let large = run_election(
+        let congest = elect(&g, &base, 17);
+        let large = elect(
             &g,
             &ElectionConfig {
                 msg_size: MsgSizeMode::Large,
@@ -308,10 +379,25 @@ mod tests {
     fn deterministic_given_seed() {
         let g = expander(128, 2);
         let cfg = ElectionConfig::tuned_for_simulation(128);
-        let a = run_election(&g, &cfg, 42);
-        let b = run_election(&g, &cfg, 42);
+        let a = elect(&g, &cfg, 42);
+        let b = elect(&g, &cfg, 42);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.leaders, b.leaders);
         assert_eq!(a.decided_round, b.decided_round);
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let g = expander(64, 8);
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let report = elect(&g, &cfg, 1);
+        let header_cols = ElectionReport::csv_header().split(',').count();
+        let row = report.csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.ends_with("true") || row.ends_with("false"));
+        if report.is_success() {
+            let id_col = row.split(',').nth(4).unwrap();
+            assert_eq!(id_col, report.leader_id.unwrap().to_string());
+        }
     }
 }

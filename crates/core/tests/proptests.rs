@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::Payload;
 use welle_core::{
-    run_election, ElectionConfig, ElectionMsg, FwdItem, MsgSizeMode, Params, RevItem,
+    Election, ElectionConfig, ElectionMsg, FwdItem, MsgSizeMode, Params, RevItem,
 };
 use welle_graph::GraphBuilder;
 
@@ -37,7 +37,7 @@ proptest! {
         let g = random_connected(n, extra, seed);
         let mut cfg = ElectionConfig::tuned_for_simulation(n);
         cfg.max_walk_len = Some(64); // keep give-ups cheap on bad graphs
-        let r = run_election(&g, &cfg, seed ^ 0xABCD);
+        let r = Election::on(&g).config(cfg).seed(seed ^ 0xABCD).run().unwrap();
         prop_assert!(r.leaders.len() <= 1, "leaders: {:?}", r.leaders);
         prop_assert_eq!(r.broken_routes, 0, "routing must never break");
         prop_assert_eq!(r.dropped_tokens, 0, "no stale tokens in sync runs");
@@ -100,8 +100,8 @@ proptest! {
         let g = random_connected(32, 32, 99);
         let mut cfg = ElectionConfig::tuned_for_simulation(32);
         cfg.max_walk_len = Some(64);
-        let a = run_election(&g, &cfg, seed);
-        let b = run_election(&g, &cfg, seed);
+        let a = Election::on(&g).config(cfg).seed(seed).run().unwrap();
+        let b = Election::on(&g).config(cfg).seed(seed).run().unwrap();
         prop_assert_eq!(a.messages, b.messages);
         prop_assert_eq!(a.leaders, b.leaders);
     }

@@ -15,11 +15,11 @@
 
 use std::sync::Arc;
 
-use welle_congest::{Engine, EngineConfig, RunOutcome, TransmitEvent, TransmitObserver};
+use welle_congest::{TransmitEvent, TransmitObserver};
 use welle_graph::gen::Dumbbell;
 use welle_graph::EdgeId;
 
-use welle_core::{ElectionConfig, ElectionNode, Params, SyncMode, SIGNAL_ADVANCE};
+use welle_core::{Election, ElectionConfig};
 
 /// Observer counting bridge crossings.
 #[derive(Clone, Debug)]
@@ -100,55 +100,29 @@ pub fn run_dumbbell_election(
     seed: u64,
 ) -> DumbbellReport {
     let graph = Arc::new(db.graph().clone());
-    let params = Arc::new(Params::derive(believed_n, *cfg));
-    let engine_cfg = EngineConfig {
-        seed,
-        // The believed-n bandwidth budget would misfire on the true n;
-        // disable enforcement for this experiment.
-        bandwidth_bits: None,
+    // The believed-n bandwidth budget would misfire on the true n;
+    // disable enforcement for this experiment.
+    let cfg = ElectionConfig {
+        enforce_bandwidth: false,
+        ..*cfg
     };
-    let mut engine = Engine::from_fn(Arc::clone(&graph), engine_cfg, |_| {
-        ElectionNode::new(Arc::clone(&params))
-    });
     let mut obs = BridgeObserver::new(db);
+    let report = Election::on(&graph)
+        .config(cfg)
+        .believing_n(believed_n)
+        .seed(seed)
+        .observer(&mut obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
 
-    match cfg.sync {
-        SyncMode::FixedT => {
-            engine.run_observed(params.round_limit(), &mut obs);
-        }
-        SyncMode::Adaptive => {
-            let mut signals = 0u64;
-            loop {
-                let out = engine.run_observed(u64::MAX / 4, &mut obs);
-                match out {
-                    RunOutcome::Quiescent { .. } if signals < params.total_segments() => {
-                        engine.signal(SIGNAL_ADVANCE);
-                        signals += 1;
-                    }
-                    _ => break,
-                }
-            }
-        }
-    }
-
-    let mut left = 0usize;
-    let mut right = 0usize;
-    for (i, node) in engine.nodes().iter().enumerate() {
-        if node.decision() == Some(welle_core::Decision::Leader) {
-            if i < db.half_n() {
-                left += 1;
-            } else {
-                right += 1;
-            }
-        }
-    }
+    let left = report.leaders.iter().filter(|&&i| i < db.half_n()).count();
     DumbbellReport {
         left_leaders: left,
-        right_leaders: right,
+        right_leaders: report.leaders.len() - left,
         messages_before_crossing: obs.messages_before_crossing,
         crossings: obs.crossings,
         messages: obs.total_messages(),
-        m: graph.m(),
+        m: report.m,
     }
 }
 
@@ -194,7 +168,7 @@ pub fn frugal_clique_config(believed_n: usize) -> ElectionConfig {
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
-    use welle_core::{run_election, Decision};
+    use welle_core::Decision;
     use welle_graph::gen;
 
     fn clique_dumbbell(k: usize, seed: u64) -> Dumbbell {
@@ -215,7 +189,8 @@ mod tests {
         let cfg = frugal_clique_config(128);
         let mut total_leaders = 0;
         for (side, g) in [("left", left), ("right", right)] {
-            let report = run_election(&std::sync::Arc::new(g), &cfg, 7);
+            let g = std::sync::Arc::new(g);
+            let report = Election::on(&g).config(cfg).seed(7).run().unwrap();
             assert!(report.is_success(), "{side} half fails: {:?}", report.leaders);
             total_leaders += report.leaders.len();
         }

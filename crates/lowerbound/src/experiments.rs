@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use welle_congest::{Engine, EngineConfig};
-use welle_core::{run_election_observed, ElectionConfig, ElectionReport};
+use welle_core::{Election, ElectionConfig, ElectionReport};
 use welle_graph::gen::CliqueOfCliques;
 use welle_graph::{Graph, NodeId};
 
@@ -38,7 +38,12 @@ pub fn run_election_on_lower_bound(
 ) -> LowerBoundRun {
     let graph = Arc::new(lb.graph().clone());
     let mut obs = CliqueCommObserver::new(lb);
-    let report = run_election_observed(&graph, cfg, seed, &mut obs);
+    let report = Election::on(&graph)
+        .config(*cfg)
+        .seed(seed)
+        .observer(&mut obs)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
     LowerBoundRun {
         report,
         cg_edges: obs.cg_edge_count(),

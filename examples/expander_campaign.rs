@@ -1,7 +1,8 @@
 //! The headline result in action: message complexity on expanders scales
 //! like `O(√n · polylog n)` — far below the `Ω(m)` of flooding.
 //!
-//! Sweeps n over expanders, printing our algorithm vs the flood-max
+//! One [`Campaign`] sweeps every expander size as a family scenario,
+//! then the table compares the per-size medians against the flood-max
 //! baseline side by side.
 //!
 //! ```sh
@@ -11,33 +12,54 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{baselines::run_flood_max, run_election, ElectionConfig};
+use welle::core::{baselines::run_flood_max, Campaign, Election, ElectionConfig};
 use welle::graph::gen;
 
 fn main() {
+    let sizes = [128usize, 256, 512, 1024];
+    let scenarios: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let graph =
+                Arc::new(gen::random_regular(n, 4, &mut rng).expect("generation succeeds"));
+            (
+                format!("expander-{n}"),
+                graph,
+                ElectionConfig::tuned_for_simulation(n),
+            )
+        })
+        .collect();
+
+    // One campaign, one scenario per size, three seeds each.
+    let outcome = Campaign::new(Election::on(&scenarios[0].1).config(scenarios[0].2))
+        .label(scenarios[0].0.clone())
+        .families(scenarios.iter().skip(1).cloned())
+        .seeds([42, 43, 44])
+        .run()
+        .expect("configs are valid");
+
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>10} {:>10}",
         "n", "m", "welle msgs", "flood msgs", "welle/√n", "flood/m"
     );
-    for &n in &[128usize, 256, 512, 1024] {
-        let mut rng = StdRng::seed_from_u64(n as u64);
-        let graph = Arc::new(gen::random_regular(n, 4, &mut rng).expect("generation succeeds"));
-        let cfg = ElectionConfig::tuned_for_simulation(n);
-
-        let ours = run_election(&graph, &cfg, 42);
-        let flood = run_flood_max(&graph, 42);
-
-        assert!(ours.is_success(), "n={n}: {:?}", ours.leaders);
+    for (summary, (_, graph, _)) in outcome.summaries.iter().zip(&scenarios) {
+        assert_eq!(
+            summary.successes, summary.trials,
+            "{}: {summary}",
+            summary.scenario
+        );
+        let flood = run_flood_max(graph, 42);
         assert!(flood.is_success());
-
+        let n = summary.n;
         println!(
             "{:>6} {:>8} {:>12} {:>12} {:>10.1} {:>10.1}",
             n,
-            graph.m(),
-            ours.messages,
+            summary.m,
+            summary.messages.median,
             flood.messages,
-            ours.messages as f64 / (n as f64).sqrt(),
-            flood.messages as f64 / graph.m() as f64,
+            summary.messages.median as f64 / (n as f64).sqrt(),
+            flood.messages as f64 / summary.m as f64,
         );
     }
     println!(

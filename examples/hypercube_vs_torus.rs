@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use welle::core::{run_election, ElectionConfig};
+use welle::core::{Election, ElectionConfig};
 use welle::graph::{analysis, gen};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
 
@@ -35,7 +35,11 @@ fn main() {
         let mut cfg = ElectionConfig::tuned_for_simulation(n);
         // The torus needs longer guesses than the expander-tuned cap.
         cfg.max_walk_len = Some(4 * tmix.max(64));
-        let report = run_election(graph, &cfg, 11);
+        let report = Election::on(graph)
+            .config(cfg)
+            .seed(11)
+            .run()
+            .expect("config is valid");
         println!(
             "{:>10} {:>6} {:>7.4} {:>7} {:>9} {:>12} {:>10}",
             name,

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{run_election, ElectionConfig};
+use welle::core::{Election, ElectionConfig, Exec};
 use welle::graph::gen;
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
 
@@ -18,8 +18,14 @@ fn main() {
     let graph = Arc::new(gen::random_regular(512, 4, &mut rng).expect("generation succeeds"));
 
     // 2. Run the PODC 2018 election. Nodes know only n and their ports.
-    let cfg = ElectionConfig::tuned_for_simulation(graph.n());
-    let report = run_election(&graph, &cfg, 7);
+    //    `Exec::Auto` picks the serial or sharded executor from n,
+    //    density, and the host's cores; results are identical either way.
+    let report = Election::on(&graph)
+        .config(ElectionConfig::tuned_for_simulation(graph.n()))
+        .seed(7)
+        .executor(Exec::Auto)
+        .run()
+        .expect("config is valid");
 
     // 3. Inspect the outcome.
     println!("network        : n = {}, m = {}", report.n, report.m);

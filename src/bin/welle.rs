@@ -15,7 +15,9 @@ use std::sync::Arc;
 use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
 use welle::core::broadcast::run_explicit_election;
-use welle::core::{run_election, ElectionConfig, MsgSizeMode, SyncMode};
+use welle::core::{
+    Campaign, Election, ElectionConfig, ElectionReport, Exec, MsgSizeMode, SyncMode,
+};
 use welle::graph::{gen, Graph};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
 
@@ -29,6 +31,8 @@ struct Args {
     large: bool,
     cap: Option<u32>,
     explicit: bool,
+    csv: bool,
+    threads: Option<usize>,
     baseline: Option<String>,
 }
 
@@ -42,6 +46,9 @@ fn usage() -> &'static str {
        --fixed-t       paper-faithful fixed-T schedule (default adaptive)\n\
        --large         O(log^3 n) messages (default CONGEST)\n\
        --cap L         walk-length cap\n\
+       --threads K     force the sharded executor with K workers\n\
+                       (default: auto — serial unless large, dense, multicore)\n\
+       --csv           per-run CSV rows instead of human-readable lines\n\
        --explicit      run explicit election (adds push-pull broadcast)\n\
        --baseline B    also run a baseline: flood | hs | known-tmix"
 }
@@ -61,6 +68,8 @@ fn parse() -> Result<Args, String> {
         large: false,
         cap: None,
         explicit: false,
+        csv: false,
+        threads: None,
         baseline: None,
     };
     let mut i = 2;
@@ -86,12 +95,31 @@ fn parse() -> Result<Args, String> {
                 i += 1;
                 args.baseline = Some(argv.get(i).ok_or("--baseline needs a value")?.clone());
             }
+            "--threads" => {
+                i += 1;
+                args.threads = Some(
+                    argv.get(i)
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|_| "bad threads")?,
+                );
+            }
             "--fixed-t" => args.fixed_t = true,
             "--large" => args.large = true,
+            "--csv" => args.csv = true,
             "--explicit" => args.explicit = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
         i += 1;
+    }
+    if args.explicit && args.csv {
+        return Err("--csv is not supported with --explicit".to_string());
+    }
+    if args.explicit && args.threads.is_some() {
+        return Err("--threads is not supported with --explicit".to_string());
+    }
+    if args.baseline.is_some() && args.csv {
+        return Err("--csv is not supported with --baseline (the baseline lines would corrupt the CSV stream)".to_string());
     }
     Ok(args)
 }
@@ -155,10 +183,16 @@ fn main() -> ExitCode {
         cfg.max_walk_len = Some(cap);
     }
 
+    let exec = match args.threads {
+        Some(k) => Exec::Threaded(k),
+        None => Exec::Auto,
+    };
     let mut ok = true;
-    for k in 0..args.seeds {
-        let seed = args.seed + k as u64;
-        if args.explicit {
+    if args.explicit {
+        // The two-stage explicit election (implicit + broadcast) has its
+        // own driver; the implicit stage inside it runs on the builder.
+        for k in 0..args.seeds {
+            let seed = args.seed + k as u64;
             let rep = run_explicit_election(&graph, &cfg, 10_000_000, seed);
             println!(
                 "seed {seed}: leaders={:?} elect_msgs={} bcast_msgs={:?} success={}",
@@ -168,23 +202,52 @@ fn main() -> ExitCode {
                 rep.is_success()
             );
             ok &= rep.is_success();
-        } else {
-            let rep = run_election(&graph, &cfg, seed);
-            println!(
-                "seed {seed}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
-                 rounds={} t_u={} epochs={} gave_up={}",
-                rep.leaders,
-                rep.leader_id,
-                rep.contenders,
-                rep.messages,
-                rep.bits,
-                rep.decided_round,
-                rep.final_walk_len,
-                rep.epochs_used,
-                rep.gave_up
-            );
-            ok &= rep.is_success();
         }
+    } else {
+        if args.csv {
+            println!("seed,{}", ElectionReport::csv_header());
+        }
+        // `on_trial` streams each seed's line as it completes, so long
+        // sweeps show progress instead of buffering until the end.
+        let csv = args.csv;
+        let proto = Election::on(&graph).config(cfg).executor(exec);
+        let outcome = match Campaign::new(proto)
+            .label(args.family.clone())
+            .seeds(args.seed..args.seed + args.seeds as u64)
+            .on_trial(|t| {
+                let rep = &t.report;
+                if csv {
+                    println!("{},{}", t.seed, rep.csv_row());
+                } else {
+                    println!(
+                        "seed {}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
+                         rounds={} t_u={} epochs={} gave_up={}",
+                        t.seed,
+                        rep.leaders,
+                        rep.leader_id,
+                        rep.contenders,
+                        rep.messages,
+                        rep.bits,
+                        rep.decided_round,
+                        rep.final_walk_len,
+                        rep.epochs_used,
+                        rep.gave_up
+                    );
+                }
+            })
+            .run()
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let summary = outcome.summary();
+        if args.seeds > 1 && !args.csv {
+            println!("{summary}");
+        }
+        ok &= summary.successes == summary.trials;
     }
 
     match args.baseline.as_deref() {

@@ -15,14 +15,24 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use welle::core::{run_election, ElectionConfig};
+//! use welle::core::{Campaign, Election, ElectionConfig};
 //! use welle::graph::gen;
 //! use rand::{SeedableRng, rngs::StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let g = Arc::new(gen::random_regular(512, 4, &mut rng).unwrap());
-//! let report = run_election(&g, &ElectionConfig::tuned_for_simulation(512), 1);
+//! let cfg = ElectionConfig::tuned_for_simulation(512);
+//!
+//! // One election: the builder validates, picks an executor, runs.
+//! let report = Election::on(&g).config(cfg).seed(1).run().unwrap();
 //! assert!(report.is_success());
+//!
+//! // Many elections: a campaign over seeds, with aggregate statistics.
+//! let outcome = Campaign::new(Election::on(&g).config(cfg))
+//!     .seeds(0..10)
+//!     .run()
+//!     .unwrap();
+//! println!("{}", outcome.summary());
 //! ```
 
 #![forbid(unsafe_code)]

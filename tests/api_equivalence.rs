@@ -1,0 +1,181 @@
+//! API-redesign safety net: the [`Election`] builder and [`Campaign`]
+//! batch layer must be **bit-identical** to the deprecated
+//! `run_election*` free functions on the same `(graph, config, seed)` —
+//! same leaders, same message/bit totals, same round counts — across
+//! every executor choice and both sync modes.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, SeedableRng};
+use welle::congest::TransmitEvent;
+use welle::core::{
+    run_election, run_election_observed, run_election_threaded, run_election_threaded_observed,
+    Campaign, ConfigError, Election, ElectionConfig, ElectionReport, Exec, SyncMode,
+};
+use welle::graph::{gen, Graph};
+
+fn expander(n: usize, seed: u64) -> Arc<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
+}
+
+fn assert_identical(a: &ElectionReport, b: &ElectionReport, what: &str) {
+    assert_eq!(a.n, b.n, "{what}: n");
+    assert_eq!(a.m, b.m, "{what}: m");
+    assert_eq!(a.contenders, b.contenders, "{what}: contenders");
+    assert_eq!(a.leaders, b.leaders, "{what}: leaders");
+    assert_eq!(a.leader_id, b.leader_id, "{what}: leader_id");
+    assert_eq!(a.messages, b.messages, "{what}: messages");
+    assert_eq!(a.bits, b.bits, "{what}: bits");
+    assert_eq!(a.decided_round, b.decided_round, "{what}: decided_round");
+    assert_eq!(a.engine_rounds, b.engine_rounds, "{what}: engine_rounds");
+    assert_eq!(a.final_walk_len, b.final_walk_len, "{what}: final_walk_len");
+    assert_eq!(a.epochs_used, b.epochs_used, "{what}: epochs_used");
+    assert_eq!(a.gave_up, b.gave_up, "{what}: gave_up");
+    assert_eq!(a.dropped_tokens, b.dropped_tokens, "{what}: dropped_tokens");
+    assert_eq!(a.broken_routes, b.broken_routes, "{what}: broken_routes");
+    assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+}
+
+fn configs() -> Vec<(&'static str, ElectionConfig)> {
+    let base = ElectionConfig::tuned_for_simulation(96);
+    vec![
+        ("adaptive", base),
+        (
+            "fixed_t",
+            ElectionConfig {
+                sync: SyncMode::FixedT,
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn builder_matches_run_election_across_sync_modes() {
+    let g = expander(96, 5);
+    for (name, cfg) in configs() {
+        for seed in [1u64, 2, 3] {
+            let old = run_election(&g, &cfg, seed);
+            let new = Election::on(&g)
+                .config(cfg)
+                .seed(seed)
+                .executor(Exec::Serial)
+                .run()
+                .unwrap();
+            assert_identical(&old, &new, &format!("{name}/serial/seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn builder_matches_run_election_threaded() {
+    let g = expander(96, 6);
+    for (name, cfg) in configs() {
+        for threads in [1usize, 3] {
+            let old = run_election_threaded(&g, &cfg, 9, threads);
+            let new = Election::on(&g)
+                .config(cfg)
+                .seed(9)
+                .executor(Exec::Threaded(threads))
+                .run()
+                .unwrap();
+            assert_identical(&old, &new, &format!("{name}/threaded({threads})"));
+        }
+    }
+}
+
+#[test]
+fn auto_executor_is_bit_identical_to_both() {
+    let g = expander(96, 7);
+    for (name, cfg) in configs() {
+        let serial = run_election(&g, &cfg, 4);
+        let threaded = run_election_threaded(&g, &cfg, 4, 2);
+        let auto = Election::on(&g)
+            .config(cfg)
+            .seed(4)
+            .executor(Exec::Auto)
+            .run()
+            .unwrap();
+        assert_identical(&serial, &auto, &format!("{name}/auto vs serial"));
+        assert_identical(&threaded, &auto, &format!("{name}/auto vs threaded"));
+    }
+}
+
+#[test]
+fn observed_variants_match_and_observers_see_the_same_traffic() {
+    let g = expander(96, 8);
+    let cfg = ElectionConfig::tuned_for_simulation(96);
+
+    let mut old_events: Vec<(u64, usize)> = Vec::new();
+    let mut old_obs = |ev: &TransmitEvent| old_events.push((ev.round, ev.from.index()));
+    let old = run_election_observed(&g, &cfg, 11, &mut old_obs);
+
+    let mut new_events: Vec<(u64, usize)> = Vec::new();
+    let mut new_obs = |ev: &TransmitEvent| new_events.push((ev.round, ev.from.index()));
+    let new = Election::on(&g)
+        .config(cfg)
+        .seed(11)
+        .executor(Exec::Serial)
+        .observer(&mut new_obs)
+        .run()
+        .unwrap();
+
+    assert_identical(&old, &new, "observed/serial");
+    assert_eq!(old_events, new_events, "event streams must be identical");
+    assert_eq!(old_events.len() as u64, old.messages);
+
+    let mut t_events = 0u64;
+    let mut t_obs = |_: &TransmitEvent| t_events += 1;
+    let old_t = run_election_threaded_observed(&g, &cfg, 11, 3, &mut t_obs);
+    assert_identical(&old, &old_t, "threaded_observed vs serial observed");
+    assert_eq!(t_events, old_t.messages);
+}
+
+#[test]
+fn campaign_trials_match_individual_free_function_runs() {
+    let g = expander(96, 9);
+    let cfg = ElectionConfig::tuned_for_simulation(96);
+    let outcome = Campaign::new(Election::on(&g).config(cfg))
+        .seeds(20..25)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.trials.len(), 5);
+    for t in &outcome.trials {
+        let old = run_election(&g, &cfg, t.seed);
+        assert_identical(&old, &t.report, &format!("campaign seed {}", t.seed));
+    }
+    let s = outcome.summary();
+    assert_eq!(s.trials, 5);
+    assert_eq!(
+        s.successes,
+        outcome
+            .trials
+            .iter()
+            .filter(|t| t.report.is_success())
+            .count()
+    );
+}
+
+#[test]
+fn builder_reports_config_errors_the_shims_would_panic_on() {
+    let g = expander(32, 10);
+    let bad = ElectionConfig {
+        c_t: f64::NEG_INFINITY,
+        ..ElectionConfig::default()
+    };
+    match Election::on(&g).config(bad).run() {
+        Err(ConfigError::BadConstant { name: "c_t", .. }) => {}
+        other => panic!("expected BadConstant for c_t, got {other:?}"),
+    }
+    let err = Election::on(&g)
+        .config(ElectionConfig {
+            max_walk_len: Some(0),
+            ..ElectionConfig::default()
+        })
+        .run()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroWalkCap);
+}

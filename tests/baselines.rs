@@ -8,7 +8,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{
     run_flood_max, run_hirschberg_sinclair, run_known_tmix_election,
 };
-use welle::core::{run_election, ElectionConfig};
+use welle::core::{Election, ElectionConfig};
 use welle::graph::gen;
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
 
@@ -21,7 +21,7 @@ fn hirschberg_sinclair_beats_the_general_algorithm_on_rings() {
     assert!(hs.is_success());
     let mut cfg = ElectionConfig::tuned_for_simulation(32);
     cfg.max_walk_len = Some(4096);
-    let general = run_election(&g, &cfg, 3);
+    let general = Election::on(&g).config(cfg).seed(3).run().unwrap();
     assert!(general.is_success());
     assert!(
         hs.messages * 10 < general.messages,
@@ -39,7 +39,11 @@ fn flood_max_and_walk_election_agree_on_uniqueness() {
         let flood = run_flood_max(&g, seed);
         assert!(flood.is_success(), "flood seed {seed}: {:?}", flood.leaders);
     }
-    let walk = run_election(&g, &ElectionConfig::tuned_for_simulation(96), 1);
+    let walk = Election::on(&g)
+        .config(ElectionConfig::tuned_for_simulation(96))
+        .seed(1)
+        .run()
+        .unwrap();
     assert!(walk.is_success());
 }
 

@@ -4,12 +4,16 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{run_election, ElectionConfig, MsgSizeMode, SyncMode};
+use welle::core::{Election, ElectionConfig, ElectionReport, MsgSizeMode, SyncMode};
 use welle::graph::{gen, Graph};
 
 fn expander(n: usize, seed: u64) -> Arc<Graph> {
     let mut rng = StdRng::seed_from_u64(seed);
     Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
+}
+
+fn elect(g: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
+    Election::on(g).config(*cfg).seed(seed).run().unwrap()
 }
 
 #[test]
@@ -18,7 +22,7 @@ fn expander_unique_leader_across_seeds() {
     let cfg = ElectionConfig::tuned_for_simulation(128);
     let mut successes = 0;
     for seed in 0..5u64 {
-        let r = run_election(&g, &cfg, seed);
+        let r = elect(&g, &cfg, seed);
         assert!(
             r.leaders.len() <= 1,
             "seed {seed}: never more than one leader, got {:?}",
@@ -35,7 +39,7 @@ fn expander_unique_leader_across_seeds() {
 fn hypercube_unique_leader() {
     let g = Arc::new(gen::hypercube(7).unwrap()); // 128 nodes
     let cfg = ElectionConfig::tuned_for_simulation(g.n());
-    let r = run_election(&g, &cfg, 3);
+    let r = elect(&g, &cfg, 3);
     assert!(r.is_success(), "{:?}", r.leaders);
     assert_eq!(r.broken_routes, 0);
     // Hypercubes mix in O(log n log log n); the final guess stays small.
@@ -46,7 +50,7 @@ fn hypercube_unique_leader() {
 fn clique_unique_leader() {
     let g = Arc::new(gen::clique(128).unwrap());
     let cfg = ElectionConfig::tuned_for_simulation(128);
-    let r = run_election(&g, &cfg, 5);
+    let r = elect(&g, &cfg, 5);
     assert!(r.is_success(), "{:?}", r.leaders);
     assert!(r.final_walk_len <= 8, "cliques mix in O(1)");
 }
@@ -59,7 +63,7 @@ fn lower_bound_graph_unique_leader() {
     let g = Arc::new(lb.into_graph());
     let mut cfg = ElectionConfig::tuned_for_simulation(g.n());
     cfg.max_walk_len = Some(1024); // poor conductance: allow longer guesses
-    let r = run_election(&g, &cfg, 2);
+    let r = elect(&g, &cfg, 2);
     assert!(r.is_success(), "{:?} gave_up={}", r.leaders, r.gave_up);
 }
 
@@ -68,7 +72,7 @@ fn torus_unique_leader_with_generous_cap() {
     let g = Arc::new(gen::torus2d(8, 8).unwrap());
     let mut cfg = ElectionConfig::tuned_for_simulation(g.n());
     cfg.max_walk_len = Some(1024); // t_mix = Θ(n) on the torus
-    let r = run_election(&g, &cfg, 1);
+    let r = elect(&g, &cfg, 1);
     assert!(r.is_success(), "{:?} gave_up={}", r.leaders, r.gave_up);
 }
 
@@ -80,7 +84,7 @@ fn both_sync_modes_elect() {
             sync,
             ..ElectionConfig::tuned_for_simulation(128)
         };
-        let r = run_election(&g, &cfg, 8);
+        let r = elect(&g, &cfg, 8);
         assert!(r.is_success(), "{sync:?}: {:?}", r.leaders);
     }
 }
@@ -89,8 +93,8 @@ fn both_sync_modes_elect() {
 fn both_message_modes_elect_and_large_uses_fewer_messages() {
     let g = expander(128, 12);
     let base = ElectionConfig::tuned_for_simulation(128);
-    let congest = run_election(&g, &base, 6);
-    let large = run_election(
+    let congest = elect(&g, &base, 6);
+    let large = elect(
         &g,
         &ElectionConfig {
             msg_size: MsgSizeMode::Large,
@@ -115,7 +119,7 @@ fn contender_counts_track_lemma_1() {
     let mut total = 0usize;
     let seeds = 6;
     for seed in 0..seeds {
-        let r = run_election(&g, &cfg, 100 + seed);
+        let r = elect(&g, &cfg, 100 + seed);
         total += r.contenders;
         assert!(
             (r.contenders as f64) < 2.5 * expected,
@@ -137,7 +141,7 @@ fn decided_round_scales_with_schedule_in_fixed_t() {
         sync: SyncMode::FixedT,
         ..ElectionConfig::tuned_for_simulation(128)
     };
-    let r = run_election(&g, &cfg, 2);
+    let r = elect(&g, &cfg, 2);
     assert!(r.is_success());
     // Decisions happen at 4T boundaries of some epoch; the round must be
     // consistent with the epoch the run reports.

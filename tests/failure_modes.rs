@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{run_election, ElectionConfig};
+use welle::core::{Election, ElectionConfig, ElectionReport};
 use welle::graph::{gen, Graph};
 
 fn expander(n: usize, seed: u64) -> Arc<Graph> {
@@ -13,14 +13,21 @@ fn expander(n: usize, seed: u64) -> Arc<Graph> {
     Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
 }
 
+fn elect(g: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
+    Election::on(g).config(*cfg).seed(seed).run().unwrap()
+}
+
 #[test]
 fn zero_contender_probability_elects_nobody() {
     let g = expander(64, 1);
+    // An exactly-zero c1 is rejected by config validation; a denormal-
+    // scale c1 drives the contender probability to effectively zero —
+    // the tail event of Algorithm 1 — through the legal range.
     let cfg = ElectionConfig {
-        c1: 0.0, // contender probability 0: the tail event of Algorithm 1
+        c1: 1e-12,
         ..ElectionConfig::tuned_for_simulation(64)
     };
-    let r = run_election(&g, &cfg, 1);
+    let r = elect(&g, &cfg, 1);
     assert_eq!(r.contenders, 0);
     assert!(r.leaders.is_empty());
     assert!(!r.is_success());
@@ -37,7 +44,7 @@ fn walk_cap_exhaustion_reports_gave_up() {
         max_walk_len: Some(1),
         ..ElectionConfig::tuned_for_simulation(64)
     };
-    let r = run_election(&g, &cfg, 3);
+    let r = elect(&g, &cfg, 3);
     assert!(r.contenders > 0);
     assert!(r.gave_up > 0, "contenders must report giving up");
     assert!(r.leaders.is_empty(), "gave-up contenders never win");
@@ -54,7 +61,7 @@ fn tiny_graphs_run_without_panicking() {
         let cfg = ElectionConfig::tuned_for_simulation(g.n());
         // No assertion on success: thresholds are degenerate at this
         // scale; the requirement is graceful termination and ≤1 leader.
-        let r = run_election(&g, &cfg, 7);
+        let r = elect(&g, &cfg, 7);
         assert!(r.leaders.len() <= 1, "n={}: {:?}", g.n(), r.leaders);
     }
 }
@@ -72,7 +79,7 @@ fn contender_flood_still_elects_at_most_one() {
         msg_size: welle::core::MsgSizeMode::Large,
         ..ElectionConfig::tuned_for_simulation(64)
     };
-    let r = run_election(&g, &cfg, 2);
+    let r = elect(&g, &cfg, 2);
     assert_eq!(r.contenders, 64);
     assert!(r.leaders.len() <= 1, "{:?}", r.leaders);
     assert_eq!(r.gave_up, 64, "nobody can satisfy a threshold above n");
@@ -97,7 +104,7 @@ fn disconnected_graph_elects_per_component() {
     // Thresholds are derived for n = 128, but each component has only 64
     // nodes: the properties may be unsatisfiable. Keep the give-up cheap.
     cfg.max_walk_len = Some(32);
-    let r = run_election(&g, &cfg, 4);
+    let r = elect(&g, &cfg, 4);
     // Each side may elect one leader: up to 2 total, never 3+.
     assert!(r.leaders.len() <= 2, "{:?}", r.leaders);
     if r.leaders.len() == 2 {
@@ -111,10 +118,10 @@ fn zero_messages_when_alone() {
     // n = 2, contender probability clamped: degenerate but safe.
     let g = Arc::new(gen::path(2).unwrap());
     let cfg = ElectionConfig {
-        c1: 0.0,
+        c1: 1e-12, // see zero_contender_probability_elects_nobody
         ..ElectionConfig::tuned_for_simulation(2)
     };
-    let r = run_election(&g, &cfg, 1);
+    let r = elect(&g, &cfg, 1);
     assert_eq!(r.messages, 0);
     assert!(r.leaders.is_empty());
 }

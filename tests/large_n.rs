@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{run_election, run_election_threaded, ElectionConfig};
+use welle::core::{Election, ElectionConfig, Exec};
 use welle::graph::gen::{self, CliqueOfCliques, CliqueOfCliquesParams};
 
 const N: usize = 100_000;
@@ -25,7 +25,12 @@ fn expander_100k_elects_within_round_budget() {
     let mut rng = StdRng::seed_from_u64(42);
     let g = Arc::new(gen::random_regular(N, 6, &mut rng).unwrap());
     let cfg = ElectionConfig::tuned_for_simulation(N);
-    let report = run_election_threaded(&g, &cfg, 7, 4);
+    let report = Election::on(&g)
+        .config(cfg)
+        .seed(7)
+        .executor(Exec::Threaded(4))
+        .run()
+        .unwrap();
     assert!(
         report.is_success(),
         "leaders = {:?}, contenders = {}, gave_up = {}",
@@ -60,8 +65,18 @@ fn threaded_election_matches_serial_at_scale() {
     let mut rng = StdRng::seed_from_u64(9);
     let g = Arc::new(gen::random_regular(n, 4, &mut rng).unwrap());
     let cfg = ElectionConfig::tuned_for_simulation(n);
-    let serial = run_election(&g, &cfg, 13);
-    let threaded = run_election_threaded(&g, &cfg, 13, 4);
+    let serial = Election::on(&g)
+        .config(cfg)
+        .seed(13)
+        .executor(Exec::Serial)
+        .run()
+        .unwrap();
+    let threaded = Election::on(&g)
+        .config(cfg)
+        .seed(13)
+        .executor(Exec::Threaded(4))
+        .run()
+        .unwrap();
     assert_eq!(serial.leaders, threaded.leaders);
     assert_eq!(serial.leader_id, threaded.leader_id);
     assert_eq!(serial.messages, threaded.messages);
@@ -79,7 +94,12 @@ fn clique_of_cliques_100k_elects_within_round_budget() {
     let g = Arc::new(lb.into_graph());
     assert_eq!(g.n(), N);
     let cfg = ElectionConfig::tuned_for_simulation(g.n());
-    let report = run_election_threaded(&g, &cfg, 7, 4);
+    let report = Election::on(&g)
+        .config(cfg)
+        .seed(7)
+        .executor(Exec::Threaded(4))
+        .run()
+        .unwrap();
     assert!(
         report.is_success(),
         "leaders = {:?}, contenders = {}, gave_up = {}",

@@ -86,12 +86,17 @@ fn anonymous_ports_hide_neighbors() {
 
 #[test]
 fn observer_totals_match_metrics_on_election() {
-    use welle::core::{run_election_observed, ElectionConfig};
+    use welle::core::{Election, ElectionConfig};
     let mut rng = StdRng::seed_from_u64(2);
     let g = Arc::new(gen::random_regular(64, 4, &mut rng).unwrap());
     let cfg = ElectionConfig::tuned_for_simulation(64);
     let mut count = 0u64;
     let mut obs = |_ev: &welle::congest::TransmitEvent| count += 1;
-    let report = run_election_observed(&g, &cfg, 3, &mut obs);
+    let report = Election::on(&g)
+        .config(cfg)
+        .seed(3)
+        .observer(&mut obs)
+        .run()
+        .unwrap();
     assert_eq!(count, report.messages);
 }
