@@ -23,6 +23,7 @@ fn main() {
         ("e11_bcast_st", ex::e11_bcast_st::run),
         ("e12_known_tmix", ex::e12_known_tmix::run),
         ("e13_ablations", ex::e13_ablations::run),
+        ("e14_resilience", ex::e14_resilience::run),
     ];
     for (name, f) in runs {
         let t0 = std::time::Instant::now();

@@ -1,0 +1,9 @@
+//! Regenerates the e14_resilience experiment tables (adversarial
+//! network conditions; see the module docs). Pass `--quick` for a
+//! reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = welle_bench::experiments::e14_resilience::run(quick);
+    welle_bench::experiments::emit("e14_resilience", &tables);
+}

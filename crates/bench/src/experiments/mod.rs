@@ -15,6 +15,7 @@ pub mod e10_families;
 pub mod e11_bcast_st;
 pub mod e12_known_tmix;
 pub mod e13_ablations;
+pub mod e14_resilience;
 
 use crate::table::Table;
 

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use welle_graph::{Graph, NodeId, Port};
 
+use crate::faults::{CompiledFaultPlan, CompiledFaults, FaultError, FaultPlan, FaultState};
 use crate::message::Payload;
 use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
@@ -124,6 +125,10 @@ pub struct Engine<P: Protocol> {
     /// Round at which each directed edge last carried a message; the
     /// CONGEST one-per-round discipline without per-edge clearing.
     pub(crate) last_carried: Vec<u64>,
+    /// Installed adversarial network conditions, if any. `None` keeps
+    /// the delivery loop on the exact fault-free fast path (the branch
+    /// is taken once per round, not per message).
+    pub(crate) faults: Option<Box<FaultState<P::Msg>>>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -154,11 +159,55 @@ impl<P: Protocol> Engine<P> {
             deliveries: Vec::new(),
             pending: Vec::new(),
             last_carried: vec![u64::MAX; graph.directed_edge_count()],
+            faults: None,
             graph,
             cfg,
             nodes,
             rngs,
         }
+    }
+
+    /// Installs adversarial network conditions (see [`FaultPlan`]): the
+    /// plan is compiled against this engine's graph and applied to every
+    /// round simulated from now on. Install before the first
+    /// `run`/`step` call to cover the whole execution. Note that crash
+    /// and cut schedules are *predicates on the round number* ("silent
+    /// from round `r` on"): installing mid-run applies any schedule
+    /// whose round has already passed from the current round forward,
+    /// while drop and delay decisions only affect crossings after
+    /// installation.
+    ///
+    /// # Errors
+    ///
+    /// A [`FaultError`] when the plan does not fit the graph (bad
+    /// probabilities, crash targets out of range, cuts naming missing
+    /// edges). The engine is unchanged on error.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        let compiled = plan.compile_for(&self.graph)?;
+        self.set_compiled_faults(&compiled);
+        Ok(())
+    }
+
+    /// Installs an already-compiled fault plan in `O(1)` (see
+    /// [`FaultPlan::compile_for`]; same semantics as
+    /// [`Engine::set_fault_plan`]). The handle must have been compiled
+    /// for this engine's graph.
+    ///
+    /// Replacing a plan mid-run discards any messages the *previous*
+    /// plan still held in its delay buffer; they are counted in
+    /// [`Metrics::dropped_messages`] rather than silently vanishing.
+    pub fn set_compiled_faults(&mut self, plan: &CompiledFaultPlan) {
+        if let Some(old) = self.faults.take() {
+            self.metrics.dropped_messages += old.parked() as u64;
+        }
+        self.metrics.crashed_nodes = plan.0.scheduled_crashes;
+        self.faults = Some(Box::new(FaultState::new(Arc::clone(&plan.0))));
+    }
+
+    /// The compiled fault schedule, for executors that share it with
+    /// worker threads.
+    pub(crate) fn compiled_faults(&self) -> Option<Arc<CompiledFaults>> {
+        self.faults.as_ref().map(|f| Arc::clone(&f.compiled))
     }
 
     /// Creates an engine with protocols built per node index.
@@ -186,10 +235,12 @@ impl<P: Protocol> Engine<P> {
         &self.metrics
     }
 
-    /// Messages queued for transmission (current-round sends plus edge
-    /// backlog), not yet delivered.
+    /// Messages queued for transmission (current-round sends, edge
+    /// backlog, and fault-delayed messages), not yet delivered.
     pub fn in_flight(&self) -> usize {
-        self.pending.len() + self.queues.in_flight()
+        self.pending.len()
+            + self.queues.in_flight()
+            + self.faults.as_ref().map_or(0, |f| f.parked())
     }
 
     /// Immutable view of the protocol instances.
@@ -270,8 +321,11 @@ impl<P: Protocol> Engine<P> {
     ) -> RunOutcome {
         loop {
             if self.started {
-                let idle = self.inbox_active.is_empty() && self.in_flight() == 0;
-                if idle {
+                let drained = self.inbox_active.is_empty()
+                    && self.pending.is_empty()
+                    && self.queues.in_flight() == 0;
+                let parked = self.faults.as_ref().map_or(0, |f| f.parked());
+                if drained && parked == 0 {
                     if self.done_count == self.nodes.len() {
                         return RunOutcome::Done { round: self.round };
                     }
@@ -283,6 +337,22 @@ impl<P: Protocol> Engine<P> {
                                 self.round = r;
                             }
                         }
+                    }
+                } else if drained {
+                    // Only fault-parked messages remain in flight: the
+                    // same O(1) skip, to the earlier of the next due
+                    // release and the next wake-up.
+                    let due = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.next_due())
+                        .expect("parked > 0 implies a next due round");
+                    let target = match self.wakeups.peek() {
+                        Some(&Reverse((r, _))) => due.min(r),
+                        None => due,
+                    };
+                    if target > self.round {
+                        self.round = target;
                     }
                 }
             }
@@ -362,7 +432,10 @@ impl<P: Protocol> Engine<P> {
         let mut batch = std::mem::take(&mut self.deliveries);
         self.queues.transmit_into(&mut batch);
         let mut pending = std::mem::take(&mut self.pending);
-        let transmitted = !batch.is_empty() || !pending.is_empty();
+        let mut faults = self.faults.take();
+        let transmitted = !batch.is_empty()
+            || !pending.is_empty()
+            || faults.as_ref().is_some_and(|f| f.due_now(self.round));
         {
             let mut tx = Transmitter::new(
                 &self.graph,
@@ -380,14 +453,30 @@ impl<P: Protocol> Engine<P> {
                     inbox_active.push(v.raw());
                 }
             };
-            for (dir, msg) in batch.drain(..) {
-                tx.deliver_head(dir as usize, msg, obs, &mut sink);
-            }
-            for (dir, msg) in pending.drain(..) {
-                tx.offer(dir as usize, msg, obs, &mut sink);
+            match faults.as_deref_mut() {
+                // Fault-free fast path: decided once per round, so the
+                // per-message loop stays exactly the unfaulted hot path.
+                None => {
+                    for (dir, msg) in batch.drain(..) {
+                        tx.deliver_head(dir as usize, msg, obs, &mut sink);
+                    }
+                    for (dir, msg) in pending.drain(..) {
+                        tx.offer(dir as usize, msg, obs, &mut sink);
+                    }
+                }
+                Some(fs) => {
+                    tx.release_due(fs, obs, &mut sink);
+                    for (dir, msg) in batch.drain(..) {
+                        tx.deliver_head_faulty(fs, dir as usize, msg, obs, &mut sink);
+                    }
+                    for (dir, msg) in pending.drain(..) {
+                        tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
+                    }
+                }
             }
             tx.finish(&mut self.metrics);
         }
+        self.faults = faults;
         self.deliveries = batch;
         self.pending = pending;
         if any_activity || transmitted {
@@ -407,6 +496,14 @@ impl<P: Protocol> Engine<P> {
     }
 
     fn run_callback(&mut self, i: usize, inbox: &mut Vec<(Port, P::Msg)>, kind: CallKind) {
+        if let Some(f) = &self.faults {
+            if f.compiled.is_crashed(i, self.round) {
+                // Crash-stop: from its crash round on, the node executes
+                // nothing — no callbacks, no sends, no wake-ups. Its
+                // inbox (cleared by the caller) is lost with it.
+                return;
+            }
+        }
         let u = NodeId::new(i);
         let degree = self.graph.degree(u);
         let n = self.graph.n();
@@ -473,6 +570,7 @@ pub(crate) struct Transmitter<'a, M> {
     round: u64,
     delivered_msgs: u64,
     delivered_bits: u64,
+    dropped_msgs: u64,
     max_backlog_seen: usize,
 }
 
@@ -490,6 +588,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             round,
             delivered_msgs: 0,
             delivered_bits: 0,
+            dropped_msgs: 0,
             max_backlog_seen: 0,
         }
     }
@@ -528,6 +627,95 @@ impl<'a, M: Payload> Transmitter<'a, M> {
         }
     }
 
+    /// Releases every fault-delayed message due this round, in
+    /// `(due round, crossing order)` order — identical on both
+    /// executors because the heap itself lives in the shared engine
+    /// state. Arrivals at nodes that crashed in the meantime are
+    /// discarded (the destination is gone).
+    pub(crate) fn release_due<O: TransmitObserver + ?Sized>(
+        &mut self,
+        fs: &mut FaultState<M>,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        while fs.due_now(self.round) {
+            let d = fs.delayed.pop().expect("due_now implies nonempty");
+            let dst = self.graph.directed_info(d.dir as usize).dst;
+            if fs.compiled.is_crashed(dst.index(), self.round) {
+                self.dropped_msgs += 1;
+                continue;
+            }
+            self.deliver(d.dir as usize, d.msg, obs, sink);
+        }
+    }
+
+    /// [`Transmitter::deliver_head`] with the fault layer applied at the
+    /// crossing.
+    #[inline]
+    pub(crate) fn deliver_head_faulty<O: TransmitObserver + ?Sized>(
+        &mut self,
+        fs: &mut FaultState<M>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        self.last_carried[dir] = self.round;
+        self.transit(fs, dir, msg, obs, sink);
+    }
+
+    /// [`Transmitter::offer`] with the fault layer applied at the
+    /// crossing. Joining the backlog defers the fault decision to the
+    /// round the message actually crosses.
+    #[inline]
+    pub(crate) fn offer_faulty<O: TransmitObserver + ?Sized>(
+        &mut self,
+        fs: &mut FaultState<M>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        if self.last_carried[dir] == self.round {
+            let len = self.queues.push_dir(dir, msg);
+            self.max_backlog_seen = self.max_backlog_seen.max(len + 1);
+        } else {
+            self.last_carried[dir] = self.round;
+            self.transit(fs, dir, msg, obs, sink);
+        }
+    }
+
+    /// One message crossing directed edge `dir` this round, under
+    /// faults: suppressed if the edge is cut or either endpoint has
+    /// crashed, dropped i.i.d. per the plan's rate, parked if the edge
+    /// is slow, delivered otherwise. All decisions are pure functions of
+    /// the compiled plan and `(round, dir)`, so executors agree.
+    fn transit<O: TransmitObserver + ?Sized>(
+        &mut self,
+        fs: &mut FaultState<M>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        let info = self.graph.directed_info(dir);
+        let c = &fs.compiled;
+        if c.edge_cut(info.edge.index(), self.round)
+            || c.is_crashed(info.src.index(), self.round)
+            || c.is_crashed(info.dst.index(), self.round)
+            || c.dropped_in_transit(self.round, dir)
+        {
+            self.dropped_msgs += 1;
+            return;
+        }
+        let delay = c.edge_delay(info.edge.index());
+        if delay == 0 {
+            self.deliver(dir, msg, obs, sink);
+        } else {
+            fs.park(self.round + delay as u64, dir as u32, msg);
+        }
+    }
+
     #[inline]
     fn deliver<O: TransmitObserver + ?Sized>(
         &mut self,
@@ -556,6 +744,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
     pub(crate) fn finish(self, metrics: &mut Metrics) {
         metrics.messages += self.delivered_msgs;
         metrics.bits += self.delivered_bits;
+        metrics.dropped_messages += self.dropped_msgs;
         metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.max_backlog_seen);
     }
 }
@@ -775,6 +964,135 @@ mod tests {
         e.step();
         e.signal(99);
         assert!(e.nodes().iter().all(|n| n.seen == 99));
+    }
+
+    #[test]
+    fn vacuous_fault_plan_is_bit_identical() {
+        use crate::faults::FaultPlan;
+        let mut plain = flood_engine(24, 9);
+        let mut rec_plain = RecordingObserver::default();
+        let out_plain = plain.run_observed(10_000, &mut rec_plain);
+
+        let mut faulty = flood_engine(24, 9);
+        faulty.set_fault_plan(&FaultPlan::new(123)).unwrap();
+        let mut rec_faulty = RecordingObserver::default();
+        let out_faulty = faulty.run_observed(10_000, &mut rec_faulty);
+
+        assert_eq!(out_plain, out_faulty);
+        assert_eq!(plain.metrics().messages, faulty.metrics().messages);
+        assert_eq!(plain.metrics().bits, faulty.metrics().bits);
+        assert_eq!(faulty.metrics().dropped_messages, 0);
+        assert_eq!(rec_plain.events, rec_faulty.events);
+    }
+
+    #[test]
+    fn full_drop_rate_silences_the_network() {
+        use crate::faults::FaultPlan;
+        let n = 10;
+        let mut e = flood_engine(n, 4);
+        e.set_fault_plan(&FaultPlan::new(1).drop_rate(1.0)).unwrap();
+        let out = e.run(1_000);
+        // Every node flooded once at start (and is then done), but
+        // nothing arrived: the initial 2n sends were all lost.
+        assert!(out.is_done());
+        assert_eq!(e.metrics().messages, 0);
+        assert_eq!(e.metrics().dropped_messages, 2 * n as u64);
+        // Nobody learned anything.
+        for (i, node) in e.nodes().iter().enumerate() {
+            assert_eq!(node.best(), i as u64);
+        }
+    }
+
+    #[test]
+    fn crashed_node_neither_sends_nor_receives() {
+        use crate::faults::FaultPlan;
+        use crate::testing::BfsWave;
+        // Path 0 - 1 - 2 with the middle node crashed from the start:
+        // the wave from 0 can never reach 2.
+        let g = Arc::new(gen::path(3).unwrap());
+        let nodes = (0..3).map(|i| BfsWave::new(i == 0)).collect();
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.set_fault_plan(&FaultPlan::new(0).crash(1, 0)).unwrap();
+        let out = e.run(1_000);
+        assert!(matches!(out, RunOutcome::Quiescent { .. }));
+        assert_eq!(e.node(0).level(), Some(0));
+        assert_eq!(e.node(1).level(), None, "crashed nodes execute nothing");
+        assert_eq!(e.node(2).level(), None, "the wave cannot cross a crash");
+        assert_eq!(e.metrics().crashed_nodes, 1);
+        assert!(e.metrics().dropped_messages >= 1);
+    }
+
+    #[test]
+    fn mid_run_crash_halts_a_node() {
+        use crate::faults::FaultPlan;
+        use crate::testing::BfsWave;
+        // The wave reaches node 1 at round 1 and node 2 at round 2; a
+        // crash of node 2 at round 2 arrives exactly with the wave, so
+        // node 2 stays at level None while node 1 finished normally.
+        let g = Arc::new(gen::path(3).unwrap());
+        let nodes = (0..3).map(|i| BfsWave::new(i == 0)).collect();
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.set_fault_plan(&FaultPlan::new(0).crash(2, 2)).unwrap();
+        e.run(1_000);
+        assert_eq!(e.node(1).level(), Some(1));
+        assert_eq!(e.node(2).level(), None);
+    }
+
+    #[test]
+    fn delayed_edges_shift_arrival_rounds() {
+        use crate::faults::FaultPlan;
+        let g = Arc::new(gen::path(2).unwrap());
+        let nodes = vec![Echo::new(true), Echo::new(false)];
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.set_fault_plan(&FaultPlan::new(0).delay_all(3)).unwrap();
+        let mut rec = RecordingObserver::default();
+        let out = e.run_observed(1_000, &mut rec);
+        // Ping crosses at round 0 and is released at round 3; the pong
+        // (sent on processing it at round 4) is released at round 7.
+        // The delay buffer counts as in-flight, so the run cannot
+        // quiesce while messages are parked.
+        assert!(matches!(out, RunOutcome::Quiescent { .. }));
+        assert_eq!(e.node(0).replies_received(), 1);
+        let rounds: Vec<u64> = rec.events.iter().map(|ev| ev.round).collect();
+        assert_eq!(rounds, vec![3, 7]);
+        assert_eq!(e.metrics().messages, 2);
+        assert_eq!(e.metrics().dropped_messages, 0);
+    }
+
+    #[test]
+    fn long_delays_skip_idle_stretches_cheaply() {
+        use crate::faults::FaultPlan;
+        // A 1000-round link delay must not cost 1000 empty simulated
+        // rounds: when only parked messages remain, the engine jumps to
+        // the next release in O(1), exactly like the wake-up skip.
+        let g = Arc::new(gen::path(2).unwrap());
+        let nodes = vec![Echo::new(true), Echo::new(false)];
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.set_fault_plan(&FaultPlan::new(0).delay_all(1000)).unwrap();
+        let out = e.run(100_000);
+        assert!(matches!(out, RunOutcome::Quiescent { .. }));
+        assert_eq!(e.node(0).replies_received(), 1);
+        assert!(out.round() >= 2001, "two 1000-round hops: {}", out.round());
+        assert!(
+            e.metrics().active_rounds <= 5,
+            "idle stretches must be skipped, got {} active rounds",
+            e.metrics().active_rounds
+        );
+    }
+
+    #[test]
+    fn cut_edge_stops_all_later_traffic() {
+        use crate::faults::FaultPlan;
+        let g = Arc::new(gen::path(3).unwrap());
+        let nodes = (0..3).map(|i| FloodMax::new(i as u64)).collect();
+        let mut e = Engine::new(g, nodes, EngineConfig::default());
+        e.set_fault_plan(&FaultPlan::new(0).cut(1, 2, 0)).unwrap();
+        e.run(1_000);
+        // 2 is the max id, but its edge to 1 is gone from round 0.
+        assert_eq!(e.node(0).best(), 1);
+        assert_eq!(e.node(1).best(), 1);
+        assert_eq!(e.node(2).best(), 2);
+        assert!(e.metrics().dropped_messages >= 1);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! * per-node seeded randomness, so any run is a pure function of
 //!   `(graph, protocols, seed)`.
 //!
+//! The model is reliable by default; an opt-in [`FaultPlan`] layers
+//! deterministic adversarial conditions on top — i.i.d. message drops,
+//! crash-stop node schedules, per-edge delivery delay, and edge
+//! cuts/partitions — without giving up replayability (see [`faults`
+//! module docs](FaultPlan)).
+//!
 //! Two executors share these semantics behind the [`Executor`] trait:
 //! the event-driven [`Engine`] (skips idle rounds in `O(1)` — essential
 //! for the paper's fixed-`T` schedules) and the sharded multi-threaded
@@ -40,6 +46,7 @@
 
 mod engine;
 mod exec;
+mod faults;
 mod message;
 mod metrics;
 mod protocol;
@@ -51,6 +58,7 @@ pub mod testing;
 
 pub use engine::{Engine, EngineConfig, RunOutcome};
 pub use exec::Executor;
+pub use faults::{CompiledFaultPlan, FaultError, FaultPlan};
 pub use message::{bits_for, id_bits, Payload};
 pub use metrics::{Metrics, NoopObserver, RecordingObserver, TransmitEvent, TransmitObserver};
 pub use protocol::{Context, Protocol, Signal};

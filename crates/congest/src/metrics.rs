@@ -20,6 +20,13 @@ pub struct Metrics {
     /// Largest backlog any single directed edge reached (≥ 1 message means
     /// congestion delayed delivery).
     pub max_edge_backlog: usize,
+    /// Messages removed by an installed [`crate::FaultPlan`] — dropped in
+    /// transit, suppressed by a crashed endpoint, or sent into a cut
+    /// edge. Always zero without a plan.
+    pub dropped_messages: u64,
+    /// Nodes with a crash scheduled by the installed [`crate::FaultPlan`]
+    /// (zero without a plan); failure reporting, not a traffic counter.
+    pub crashed_nodes: u64,
 }
 
 impl Metrics {

@@ -30,6 +30,7 @@ use rand::rngs::StdRng;
 use welle_graph::{Graph, NodeId, Port};
 
 use crate::engine::{Engine, EngineConfig, RunOutcome, Transmitter};
+use crate::faults::{CompiledFaultPlan, CompiledFaults, FaultError, FaultPlan};
 use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
 
@@ -46,6 +47,16 @@ const CMD_EXIT: u8 = 2;
 /// rounds (drain tails, wake-up ticks) skip the hand-off and the
 /// workers stay parked.
 const INLINE_WORK_PER_SHARD: usize = 64;
+
+/// Round-invariant environment of a protocol phase, shared by every
+/// callback: the network, its size, the CONGEST budget, and the
+/// compiled fault schedule (if any).
+struct PhaseEnv<'a> {
+    graph: &'a Graph,
+    n_total: usize,
+    budget: Option<usize>,
+    faults: Option<&'a CompiledFaults>,
+}
 
 /// One worker's contiguous slice of the network:
 /// nodes `base..base + nodes.len()`.
@@ -78,19 +89,12 @@ struct Shard<P: Protocol> {
 
 impl<P: Protocol> Shard<P> {
     /// Runs the protocol phase of one round on this shard's nodes.
-    fn run_phase(
-        &mut self,
-        graph: &Graph,
-        n_total: usize,
-        budget: Option<usize>,
-        starting: bool,
-        round: u64,
-    ) {
+    fn run_phase(&mut self, env: &PhaseEnv<'_>, starting: bool, round: u64) {
         debug_assert!(self.outbox.is_empty());
         if starting {
             self.ran = !self.nodes.is_empty();
             for local in 0..self.nodes.len() {
-                self.call(graph, n_total, budget, round, local, true);
+                self.call(env, round, local, true);
             }
         } else {
             let mut todo = std::mem::take(&mut self.todo);
@@ -122,32 +126,32 @@ impl<P: Protocol> Shard<P> {
             self.ran = !todo.is_empty();
             for &local in &todo {
                 self.flags[local as usize] = false;
-                self.call(graph, n_total, budget, round, local as usize, false);
+                self.call(env, round, local as usize, false);
             }
             self.todo = todo;
         }
         self.next_wake = self.wakeups.peek().map(|&Reverse((r, _))| r);
     }
 
-    fn call(
-        &mut self,
-        graph: &Graph,
-        n_total: usize,
-        budget: Option<usize>,
-        round: u64,
-        local: usize,
-        starting: bool,
-    ) {
+    fn call(&mut self, env: &PhaseEnv<'_>, round: u64, local: usize, starting: bool) {
+        if let Some(c) = env.faults {
+            if c.is_crashed(self.base + local, round) {
+                // Crash-stop, mirroring the serial engine exactly: no
+                // callback, no sends, and the pending inbox is lost.
+                self.inboxes[local].clear();
+                return;
+            }
+        }
         let u = NodeId::new(self.base + local);
         let mut wake = None;
         let sent;
         {
             let mut ctx = Context {
                 round,
-                n: n_total,
-                degree: graph.degree(u),
-                dir_base: graph.directed_base(u) as u32,
-                budget,
+                n: env.n_total,
+                degree: env.graph.degree(u),
+                dir_base: env.graph.directed_base(u) as u32,
+                budget: env.budget,
                 sent: 0,
                 rng: &mut self.rngs[local],
                 sends: &mut self.outbox,
@@ -270,6 +274,24 @@ impl<P: Protocol> ThreadedEngine<P> {
     ) -> Self {
         let nodes = (0..graph.n()).map(&mut make).collect();
         ThreadedEngine::new(graph, nodes, cfg, threads)
+    }
+
+    /// Installs adversarial network conditions; see
+    /// [`Engine::set_fault_plan`]. The schedule is shared with the
+    /// worker threads, and execution stays bit-identical to the serial
+    /// engine under the same plan.
+    ///
+    /// # Errors
+    ///
+    /// A [`FaultError`] when the plan does not fit the graph.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        self.inner.set_fault_plan(plan)
+    }
+
+    /// Installs an already-compiled fault plan in `O(1)`; see
+    /// [`Engine::set_compiled_faults`].
+    pub fn set_compiled_faults(&mut self, plan: &CompiledFaultPlan) {
+        self.inner.set_compiled_faults(plan)
     }
 
     /// Overrides the per-shard callback-count cutoff below which a
@@ -396,6 +418,7 @@ impl<P: Protocol> ThreadedEngine<P> {
         // `Context::send`) must not be lost.
         let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         let graph = Arc::clone(&self.inner.graph);
+        let compiled = self.inner.compiled_faults();
 
         std::thread::scope(|scope| {
             for cell in cells {
@@ -404,6 +427,7 @@ impl<P: Protocol> ThreadedEngine<P> {
                 let round_now = &round_now;
                 let panicked = &panicked;
                 let graph = &graph;
+                let compiled = &compiled;
                 scope.spawn(move || loop {
                     barrier.wait();
                     let c = cmd.load(Ordering::SeqCst);
@@ -412,8 +436,14 @@ impl<P: Protocol> ThreadedEngine<P> {
                     }
                     let r = round_now.load(Ordering::SeqCst);
                     let result = catch_unwind(AssertUnwindSafe(|| {
+                        let env = PhaseEnv {
+                            graph,
+                            n_total: n,
+                            budget,
+                            faults: compiled.as_deref(),
+                        };
                         let mut shard = cell.lock().expect("shard lock");
-                        shard.run_phase(graph, n, budget, c == CMD_START, r);
+                        shard.run_phase(&env, c == CMD_START, r);
                     }));
                     if let Err(payload) = result {
                         *panicked.lock().expect("panic slot") = Some(payload);
@@ -463,8 +493,14 @@ impl<P: Protocol> ThreadedEngine<P> {
                 if inline {
                     // Sparse round: run the phase inline, workers stay
                     // parked on the barrier. Same code path, same order.
+                    let env = PhaseEnv {
+                        graph: &graph,
+                        n_total: n,
+                        budget,
+                        faults: compiled.as_deref(),
+                    };
                     for guard in guards.iter_mut() {
-                        guard.run_phase(&graph, n, budget, starting, self.inner.round);
+                        guard.run_phase(&env, starting, self.inner.round);
                     }
                 }
                 agg = self.merge_and_transmit(&mut guards, starting, obs);
@@ -481,8 +517,11 @@ impl<P: Protocol> ThreadedEngine<P> {
     fn check_stopped(&mut self, agg: &RoundAgg, round_limit: u64) -> Option<RunOutcome> {
         if self.inner.started {
             let round = self.inner.round;
-            let idle = agg.inbox_total == 0 && self.inner.in_flight() == 0;
-            if idle {
+            let drained = agg.inbox_total == 0
+                && self.inner.pending.is_empty()
+                && self.inner.queues.in_flight() == 0;
+            let parked = self.inner.faults.as_ref().map_or(0, |f| f.parked());
+            if drained && parked == 0 {
                 if agg.done_total == self.inner.graph.n() {
                     return Some(RunOutcome::Done { round });
                 }
@@ -493,6 +532,22 @@ impl<P: Protocol> ThreadedEngine<P> {
                             self.inner.round = r;
                         }
                     }
+                }
+            } else if drained {
+                // Only fault-parked messages remain: the serial engine's
+                // O(1) skip to the earlier of next release and next wake.
+                let due = self
+                    .inner
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.next_due())
+                    .expect("parked > 0 implies a next due round");
+                let target = match agg.min_wake {
+                    Some(r) => due.min(r),
+                    None => due,
+                };
+                if target > round {
+                    self.inner.round = target;
                 }
             }
         }
@@ -526,7 +581,10 @@ impl<P: Protocol> ThreadedEngine<P> {
         let mut batch = std::mem::take(&mut self.inner.deliveries);
         self.inner.queues.transmit_into(&mut batch);
         let mut pending = std::mem::take(&mut self.inner.pending);
-        transmitted |= !batch.is_empty() || !pending.is_empty();
+        let mut faults = self.inner.faults.take();
+        transmitted |= !batch.is_empty()
+            || !pending.is_empty()
+            || faults.as_ref().is_some_and(|f| f.due_now(self.inner.round));
         let mut inbox_total = 0usize;
         {
             let mut tx = Transmitter::new(
@@ -539,12 +597,26 @@ impl<P: Protocol> ThreadedEngine<P> {
                 shards.iter_mut().map(|s| s.deref_mut()).collect();
             {
                 let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
-                for (dir, msg) in batch.drain(..) {
-                    tx.deliver_head(dir as usize, msg, obs, &mut sink);
-                }
-                // Signal sends queued between runs (see `Engine::signal`).
-                for (dir, msg) in pending.drain(..) {
-                    tx.offer(dir as usize, msg, obs, &mut sink);
+                match faults.as_deref_mut() {
+                    None => {
+                        for (dir, msg) in batch.drain(..) {
+                            tx.deliver_head(dir as usize, msg, obs, &mut sink);
+                        }
+                        // Signal sends queued between runs (see
+                        // `Engine::signal`).
+                        for (dir, msg) in pending.drain(..) {
+                            tx.offer(dir as usize, msg, obs, &mut sink);
+                        }
+                    }
+                    Some(fs) => {
+                        tx.release_due(fs, obs, &mut sink);
+                        for (dir, msg) in batch.drain(..) {
+                            tx.deliver_head_faulty(fs, dir as usize, msg, obs, &mut sink);
+                        }
+                        for (dir, msg) in pending.drain(..) {
+                            tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
+                        }
+                    }
                 }
             }
 
@@ -561,14 +633,24 @@ impl<P: Protocol> ThreadedEngine<P> {
                 transmitted |= !outbox.is_empty();
                 {
                     let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
-                    for (dir, msg) in outbox.drain(..) {
-                        tx.offer(dir as usize, msg, obs, &mut sink);
+                    match faults.as_deref_mut() {
+                        None => {
+                            for (dir, msg) in outbox.drain(..) {
+                                tx.offer(dir as usize, msg, obs, &mut sink);
+                            }
+                        }
+                        Some(fs) => {
+                            for (dir, msg) in outbox.drain(..) {
+                                tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
+                            }
+                        }
                     }
                 }
                 views[s].outbox = outbox; // recycle the allocation
             }
             tx.finish(&mut self.inner.metrics);
         }
+        self.inner.faults = faults;
         self.inner.deliveries = batch;
         self.inner.pending = pending;
 
@@ -790,6 +872,73 @@ mod tests {
             msg.contains("CONGEST budget"),
             "original panic message must survive the worker hand-off, got: {msg:?}"
         );
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_identical_across_executors() {
+        // Drops, crashes, delays, and cuts all live in shared engine
+        // state or stateless hashes, so a faulted execution must agree
+        // across executors and thread counts exactly like a clean one —
+        // including down the forced barrier path.
+        let g = graph();
+        let cfg = EngineConfig {
+            seed: 4,
+            bandwidth_bits: None,
+        };
+        let plan = FaultPlan::new(77)
+            .drop_rate(0.3)
+            .crash(5, 4)
+            .crash_fraction(0.1, 9)
+            .delay_all(1)
+            .random_delays(2)
+            .cut_fraction(0.05, 6);
+        let mk = || (0..g.n()).map(|i| FloodMax::new(i as u64)).collect::<Vec<_>>();
+        let mut serial = Engine::new(Arc::clone(&g), mk(), cfg);
+        serial.set_fault_plan(&plan).unwrap();
+        let serial_out = serial.run(100_000);
+        for threads in [1usize, 3, 8] {
+            let mut par = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, threads);
+            par.set_fault_plan(&plan).unwrap();
+            par.set_inline_cutoff(0); // force the barrier path
+            let par_out = par.run(100_000);
+            assert_eq!(serial_out, par_out, "threads = {threads}");
+            assert_eq!(serial.metrics().messages, par.metrics().messages);
+            assert_eq!(serial.metrics().bits, par.metrics().bits);
+            assert_eq!(
+                serial.metrics().dropped_messages,
+                par.metrics().dropped_messages
+            );
+            assert_eq!(serial.metrics().crashed_nodes, par.metrics().crashed_nodes);
+            for (a, b) in serial.nodes().iter().zip(par.nodes()) {
+                assert_eq!(a.best(), b.best());
+            }
+        }
+        assert!(
+            serial.metrics().dropped_messages > 0,
+            "the plan must actually have bitten for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn delay_skip_matches_serial_engine() {
+        use crate::testing::Echo;
+        // The only-parked-messages idle skip must agree across
+        // executors: same final round, same active-round count.
+        let g = Arc::new(gen::path(2).unwrap());
+        let cfg = EngineConfig::default();
+        let plan = FaultPlan::new(0).delay_all(700);
+        let mk = || vec![Echo::new(true), Echo::new(false)];
+        let mut serial = Engine::new(Arc::clone(&g), mk(), cfg);
+        serial.set_fault_plan(&plan).unwrap();
+        let serial_out = serial.run(100_000);
+        let mut par = ThreadedEngine::new(Arc::clone(&g), mk(), cfg, 2);
+        par.set_fault_plan(&plan).unwrap();
+        par.set_inline_cutoff(0); // force the barrier path
+        let par_out = par.run(100_000);
+        assert_eq!(serial_out, par_out);
+        assert_eq!(serial.metrics().active_rounds, par.metrics().active_rounds);
+        assert_eq!(par.node(0).replies_received(), 1);
+        assert!(serial.metrics().active_rounds <= 5);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use welle_congest::{NoopObserver, TransmitObserver};
+use welle_congest::{FaultPlan, NoopObserver, TransmitObserver};
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params};
@@ -43,6 +43,10 @@ struct Scenario {
     /// Parameter-derivation override ([`Election::believing_n`]),
     /// carried over from the prototype only.
     believed_n: Option<usize>,
+    /// Adversarial network conditions for this scenario's trials
+    /// ([`Election::faults`] / [`Campaign::faults`]); fault-rate sweeps
+    /// are scenarios differing only in this field.
+    faults: Option<FaultPlan>,
 }
 
 /// One completed election within a campaign.
@@ -241,6 +245,7 @@ impl<'o> Campaign<'o> {
             seed,
             exec,
             believed_n,
+            faults,
             obs,
         } = proto;
         Campaign {
@@ -249,6 +254,7 @@ impl<'o> Campaign<'o> {
                 graph: Arc::clone(graph),
                 cfg,
                 believed_n,
+                faults,
             }],
             seeds: vec![seed],
             exec,
@@ -270,6 +276,35 @@ impl<'o> Campaign<'o> {
     pub fn label(mut self, label: impl Into<String>) -> Self {
         if let Some(s) = self.scenarios.last_mut() {
             s.label = label.into();
+        }
+        self
+    }
+
+    /// Attaches adversarial network conditions to the most recently
+    /// added scenario (like [`Campaign::label`]). Sweeping a fault
+    /// parameter is adding the same graph several times with different
+    /// plans:
+    ///
+    /// ```no_run
+    /// # use std::sync::Arc;
+    /// # use welle_core::{Campaign, Election, ElectionConfig, FaultPlan};
+    /// # use welle_graph::gen;
+    /// let g = Arc::new(gen::hypercube(7).unwrap());
+    /// let cfg = ElectionConfig::tuned_for_simulation(g.n());
+    /// let mut campaign = Campaign::new(Election::on(&g).config(cfg)).label("p=0");
+    /// for p in [0.01, 0.05, 0.1] {
+    ///     campaign = campaign
+    ///         .scenario(format!("p={p}"), &g, cfg)
+    ///         .faults(FaultPlan::new(1).drop_rate(p));
+    /// }
+    /// let outcome = campaign.seeds(0..20).run().unwrap();
+    /// for s in &outcome.summaries {
+    ///     println!("{} -> {:.2}", s.scenario, s.success_rate());
+    /// }
+    /// ```
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        if let Some(s) = self.scenarios.last_mut() {
+            s.faults = Some(plan);
         }
         self
     }
@@ -298,6 +333,7 @@ impl<'o> Campaign<'o> {
             graph: Arc::clone(graph),
             cfg,
             believed_n: None,
+            faults: None,
         });
         self
     }
@@ -314,6 +350,7 @@ impl<'o> Campaign<'o> {
                 graph,
                 cfg,
                 believed_n: None,
+                faults: None,
             });
         }
         self
@@ -348,13 +385,19 @@ impl<'o> Campaign<'o> {
             let n = s.believed_n.unwrap_or_else(|| s.graph.n());
             let params = Arc::new(Params::try_derive(n, s.cfg)?);
             let threads = self.exec.threads(&s.graph)?;
-            prepared.push((params, threads));
+            // Fault plans compile once per scenario (O(n + m)) and are
+            // shared by every seed's trial.
+            let faults = match &s.faults {
+                Some(plan) => Some(plan.compile_for(&s.graph)?),
+                None => None,
+            };
+            prepared.push((params, threads, faults));
         }
 
         let mut noop = NoopObserver;
         let mut trials = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
         let mut summaries = Vec::with_capacity(self.scenarios.len());
-        for (s, (params, threads)) in self.scenarios.iter().zip(prepared) {
+        for (s, (params, threads, faults)) in self.scenarios.iter().zip(prepared) {
             let mut messages = Vec::with_capacity(self.seeds.len());
             let mut rounds = Vec::with_capacity(self.seeds.len());
             let mut summary = CampaignSummary {
@@ -374,7 +417,14 @@ impl<'o> Campaign<'o> {
                     Some(o) => o,
                     None => &mut noop,
                 };
-                let report = run_resolved(&s.graph, Arc::clone(&params), threads, seed, obs);
+                let report = run_resolved(
+                    &s.graph,
+                    Arc::clone(&params),
+                    threads,
+                    seed,
+                    faults.as_ref(),
+                    obs,
+                );
                 match report.leaders.len() {
                     0 => summary.no_leader += 1,
                     1 => summary.successes += 1,

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use welle_congest::{NoopObserver, TransmitObserver};
+use welle_congest::{FaultPlan, NoopObserver, TransmitObserver};
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params};
@@ -99,6 +99,7 @@ pub struct Election<'g, 'o> {
     pub(crate) seed: u64,
     pub(crate) exec: Exec,
     pub(crate) believed_n: Option<usize>,
+    pub(crate) faults: Option<FaultPlan>,
     pub(crate) obs: Option<&'o mut dyn TransmitObserver>,
 }
 
@@ -113,6 +114,7 @@ impl<'g, 'o> Election<'g, 'o> {
             seed: 0,
             exec: Exec::Auto,
             believed_n: None,
+            faults: None,
             obs: None,
         }
     }
@@ -144,6 +146,16 @@ impl<'g, 'o> Election<'g, 'o> {
         self
     }
 
+    /// Runs the election under adversarial network conditions (message
+    /// drops, crash-stop schedules, delivery delay, edge cuts — see
+    /// [`FaultPlan`]). The plan is validated against the graph before
+    /// anything is simulated, and a given `(graph, config, seed, plan)`
+    /// replays identically on every executor.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Derives parameters as if the network had `n` nodes, regardless of
     /// the actual graph size — the §5 "n is not known" experiments run
     /// a dumbbell where every node believes it lives on one half.
@@ -163,8 +175,9 @@ impl<'g, 'o> Election<'g, 'o> {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for any configuration
-    /// [`ElectionConfig::validate`] rejects, or for
-    /// [`Exec::Threaded`]`(0)`. Nothing is simulated on error.
+    /// [`ElectionConfig::validate`] rejects, for
+    /// [`Exec::Threaded`]`(0)`, or for a [`FaultPlan`] that does not fit
+    /// the graph. Nothing is simulated on error.
     pub fn run(self) -> Result<ElectionReport, ConfigError> {
         let Election {
             graph,
@@ -172,17 +185,22 @@ impl<'g, 'o> Election<'g, 'o> {
             seed,
             exec,
             believed_n,
+            faults,
             obs,
         } = self;
         let n = believed_n.unwrap_or_else(|| graph.n());
         let params = Arc::new(Params::try_derive(n, cfg)?);
         let threads = exec.threads(graph)?;
+        let compiled = match &faults {
+            Some(plan) => Some(plan.compile_for(graph)?),
+            None => None,
+        };
         let mut noop = NoopObserver;
         let obs: &mut dyn TransmitObserver = match obs {
             Some(o) => o,
             None => &mut noop,
         };
-        Ok(run_resolved(graph, params, threads, seed, obs))
+        Ok(run_resolved(graph, params, threads, seed, compiled.as_ref(), obs))
     }
 }
 
@@ -275,6 +293,31 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(count, report.messages);
+    }
+
+    #[test]
+    fn fault_plan_rides_the_builder() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let clean = Election::on(&g).config(cfg).seed(9).run().unwrap();
+        assert_eq!(clean.dropped_messages, 0);
+        assert_eq!(clean.crashed, 0);
+        let faulted = Election::on(&g)
+            .config(cfg)
+            .seed(9)
+            .faults(welle_congest::FaultPlan::new(5).drop_rate(0.2))
+            .run()
+            .unwrap();
+        assert!(faulted.dropped_messages > 0);
+        let replay = Election::on(&g)
+            .config(cfg)
+            .seed(9)
+            .faults(welle_congest::FaultPlan::new(5).drop_rate(0.2))
+            .run()
+            .unwrap();
+        assert_eq!(faulted.messages, replay.messages);
+        assert_eq!(faulted.dropped_messages, replay.dropped_messages);
+        assert_eq!(faulted.leaders, replay.leaders);
     }
 
     #[test]

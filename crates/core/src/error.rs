@@ -39,6 +39,10 @@ pub enum ConfigError {
     ZeroThreads,
     /// A [`Campaign`](crate::Campaign) was asked to run with no seeds.
     NoSeeds,
+    /// A [`FaultPlan`](crate::FaultPlan) does not fit the graph it was
+    /// attached to (bad probabilities, crash targets out of range, cuts
+    /// naming missing edges).
+    Fault(welle_congest::FaultError),
 }
 
 impl fmt::Display for ConfigError {
@@ -61,7 +65,14 @@ impl fmt::Display for ConfigError {
                 write!(f, "Exec::Threaded needs at least one worker thread")
             }
             ConfigError::NoSeeds => write!(f, "campaign has no seeds to run"),
+            ConfigError::Fault(e) => write!(f, "fault plan rejected: {e}"),
         }
+    }
+}
+
+impl From<welle_congest::FaultError> for ConfigError {
+    fn from(e: welle_congest::FaultError) -> Self {
+        ConfigError::Fault(e)
     }
 }
 

@@ -62,11 +62,16 @@
 //! `n < 2`) surface as a typed [`ConfigError`] from the builder before
 //! anything is simulated.
 //!
-//! The pre-builder free functions ([`run_election`],
-//! [`run_election_observed`], [`run_election_threaded`],
-//! [`run_election_threaded_observed`]) still exist as thin deprecated
-//! shims over [`Election`] and will be removed once downstream callers
-//! have migrated.
+//! Elections can also run under adversarial network conditions — i.i.d.
+//! message drops, crash-stop schedules, delivery delay, edge cuts — by
+//! attaching a [`FaultPlan`] to the builder
+//! (`Election::on(&g).faults(FaultPlan::new(1).drop_rate(0.05))…`) or
+//! to individual [`Campaign`] scenarios; fault sweeps are campaigns
+//! whose scenarios differ only in their plans. Faulted runs stay fully
+//! deterministic and bit-identical across executors, and failures stay
+//! visible ([`ElectionReport::dropped_messages`],
+//! [`ElectionReport::crashed`], zero leaders) rather than silently
+//! electing the wrong node.
 //!
 //! Besides the core algorithm the crate ships the explicit-election stage
 //! ([`broadcast`], Corollary 14) and the paper's comparison baselines
@@ -94,10 +99,6 @@ pub use election::{Election, Exec};
 pub use error::ConfigError;
 pub use msg::{ElectionMsg, FwdItem, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
-#[allow(deprecated)]
-pub use runner::{
-    run_election, run_election_observed, run_election_threaded,
-    run_election_threaded_observed,
-};
 pub use runner::ElectionReport;
+pub use welle_congest::{FaultError, FaultPlan};
 pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

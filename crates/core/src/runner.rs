@@ -1,16 +1,15 @@
 //! The single engine-driving path behind [`Election`](crate::Election)
-//! and [`Campaign`](crate::Campaign), the [`ElectionReport`] summary, and
-//! the deprecated free-function shims.
+//! and [`Campaign`](crate::Campaign), and the [`ElectionReport`] summary.
 
 use std::sync::Arc;
 
 use welle_congest::{
-    Engine, EngineConfig, Executor, RunOutcome, ThreadedEngine, TransmitObserver,
+    CompiledFaultPlan, Engine, EngineConfig, Executor, RunOutcome, ThreadedEngine,
+    TransmitObserver,
 };
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params, SyncMode};
-use crate::election::{Election, Exec};
 use crate::protocol::{ElectionNode, SIGNAL_ADVANCE};
 use crate::state::Decision;
 
@@ -45,6 +44,14 @@ pub struct ElectionReport {
     pub epochs_used: u32,
     /// Contenders that hit the walk-length cap unsatisfied (tail events).
     pub gave_up: usize,
+    /// Messages removed by the run's [`FaultPlan`](crate::FaultPlan) —
+    /// dropped in transit, suppressed by crashed endpoints, or sent into
+    /// cut edges. Zero in fault-free runs.
+    pub dropped_messages: u64,
+    /// Nodes the run's [`FaultPlan`](crate::FaultPlan) scheduled to
+    /// crash (zero without a plan) — failures stay visible in the report
+    /// instead of masquerading as ordinary tail events.
+    pub crashed: u64,
     /// Diagnostic: walk tokens dropped on stale trails.
     pub dropped_tokens: u64,
     /// Diagnostic: routing lookups that found no trail.
@@ -62,7 +69,7 @@ impl ElectionReport {
     /// The CSV column names matching [`ElectionReport::csv_row`].
     pub fn csv_header() -> &'static str {
         "n,m,contenders,leaders,leader_id,messages,bits,decided_round,\
-         engine_rounds,final_walk_len,epochs_used,gave_up,success"
+         engine_rounds,final_walk_len,epochs_used,gave_up,dropped,crashed,success"
     }
 
     /// This report as one CSV row (columns per
@@ -70,7 +77,7 @@ impl ElectionReport {
     /// `leader_id` is empty unless the leader is unique).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.n,
             self.m,
             self.contenders,
@@ -83,95 +90,26 @@ impl ElectionReport {
             self.final_walk_len,
             self.epochs_used,
             self.gave_up,
+            self.dropped_messages,
+            self.crashed,
             self.is_success(),
         )
     }
 }
 
-/// Runs implicit leader election on `graph` with a fixed seed.
-///
-/// ```no_run
-/// use std::sync::Arc;
-/// use welle_core::{Election, ElectionConfig};
-/// use welle_graph::gen;
-///
-/// let g = Arc::new(gen::hypercube(6).unwrap());
-/// let report = Election::on(&g).seed(7).run().unwrap();
-/// assert!(report.is_success());
-/// ```
-#[deprecated(note = "use `Election::on(graph).config(*cfg).seed(seed).run()`")]
-pub fn run_election(graph: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
-    Election::on(graph)
-        .config(*cfg)
-        .seed(seed)
-        .executor(Exec::Serial)
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Like [`run_election`], reporting every transmission to `obs` (used by
-/// the lower-bound experiments to classify traffic).
-#[deprecated(note = "use `Election::on(graph).observer(obs)…run()`")]
-pub fn run_election_observed(
-    graph: &Arc<Graph>,
-    cfg: &ElectionConfig,
-    seed: u64,
-    obs: &mut dyn TransmitObserver,
-) -> ElectionReport {
-    Election::on(graph)
-        .config(*cfg)
-        .seed(seed)
-        .executor(Exec::Serial)
-        .observer(obs)
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Runs the election on the dense sharded [`ThreadedEngine`] with
-/// `threads` workers. Execution (leader, messages, rounds) is identical
-/// to [`run_election`] for the same `(graph, cfg, seed)`.
-#[deprecated(note = "use `Election::on(graph).executor(Exec::Threaded(threads))…run()`")]
-pub fn run_election_threaded(
-    graph: &Arc<Graph>,
-    cfg: &ElectionConfig,
-    seed: u64,
-    threads: usize,
-) -> ElectionReport {
-    Election::on(graph)
-        .config(*cfg)
-        .seed(seed)
-        .executor(Exec::Threaded(threads))
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// [`run_election_threaded`] with a transmission observer.
-#[deprecated(note = "use `Election::on(graph).executor(Exec::Threaded(threads)).observer(obs)…run()`")]
-pub fn run_election_threaded_observed(
-    graph: &Arc<Graph>,
-    cfg: &ElectionConfig,
-    seed: u64,
-    threads: usize,
-    obs: &mut dyn TransmitObserver,
-) -> ElectionReport {
-    Election::on(graph)
-        .config(*cfg)
-        .seed(seed)
-        .executor(Exec::Threaded(threads))
-        .observer(obs)
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Builds the engine named by `threads` (`None` = serial), drives the
-/// election to completion, and summarizes. The one code path from
-/// validated parameters to [`ElectionReport`]; everything above —
-/// builder, campaign, shims — funnels through here.
+/// Builds the engine named by `threads` (`None` = serial), installs the
+/// pre-compiled fault plan when one is set (compiled once per scenario
+/// by the callers — see [`welle_congest::FaultPlan::compile_for`] —
+/// not once per trial), drives the election to completion, and
+/// summarizes. The one
+/// code path from validated parameters to [`ElectionReport`];
+/// everything above — builder and campaign — funnels through here.
 pub(crate) fn run_resolved(
     graph: &Arc<Graph>,
     params: Arc<Params>,
     threads: Option<usize>,
     seed: u64,
+    faults: Option<&CompiledFaultPlan>,
     obs: &mut dyn TransmitObserver,
 ) -> ElectionReport {
     let engine_cfg = EngineConfig {
@@ -184,6 +122,9 @@ pub(crate) fn run_resolved(
             let mut engine = Engine::from_fn(Arc::clone(graph), engine_cfg, |_| {
                 ElectionNode::new(Arc::clone(&params))
             });
+            if let Some(plan) = faults {
+                engine.set_compiled_faults(plan);
+            }
             let outcome = drive(&mut engine, &params, &cfg, obs);
             summarize(&engine, outcome)
         }
@@ -191,6 +132,9 @@ pub(crate) fn run_resolved(
             let mut engine = ThreadedEngine::from_fn(Arc::clone(graph), engine_cfg, k, |_| {
                 ElectionNode::new(Arc::clone(&params))
             });
+            if let Some(plan) = faults {
+                engine.set_compiled_faults(plan);
+            }
             let outcome = drive(&mut engine, &params, &cfg, obs);
             summarize(&engine, outcome)
         }
@@ -281,6 +225,8 @@ fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> Elec
         final_walk_len,
         epochs_used,
         gave_up,
+        dropped_messages: engine.metrics().dropped_messages,
+        crashed: engine.metrics().crashed_nodes,
         dropped_tokens,
         broken_routes,
         outcome,
@@ -291,6 +237,7 @@ fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> Elec
 mod tests {
     use super::*;
     use crate::config::MsgSizeMode;
+    use crate::election::Election;
     use welle_graph::gen;
 
     fn expander(n: usize, seed: u64) -> Arc<Graph> {

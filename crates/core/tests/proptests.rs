@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::Payload;
 use welle_core::{
-    Election, ElectionConfig, ElectionMsg, FwdItem, MsgSizeMode, Params, RevItem,
+    Election, ElectionConfig, ElectionMsg, ElectionReport, Exec, FaultPlan, FwdItem,
+    MsgSizeMode, Params, RevItem,
 };
 use welle_graph::GraphBuilder;
 
@@ -27,6 +28,27 @@ fn random_connected(n: usize, extra: usize, seed: u64) -> Arc<welle_graph::Graph
         }
     }
     Arc::new(b.build().unwrap())
+}
+
+/// Full-field report comparison (everything the run can observe).
+fn reports_identical(a: &ElectionReport, b: &ElectionReport) -> bool {
+    a.n == b.n
+        && a.m == b.m
+        && a.contenders == b.contenders
+        && a.leaders == b.leaders
+        && a.leader_id == b.leader_id
+        && a.messages == b.messages
+        && a.bits == b.bits
+        && a.decided_round == b.decided_round
+        && a.engine_rounds == b.engine_rounds
+        && a.final_walk_len == b.final_walk_len
+        && a.epochs_used == b.epochs_used
+        && a.gave_up == b.gave_up
+        && a.dropped_messages == b.dropped_messages
+        && a.crashed == b.crashed
+        && a.dropped_tokens == b.dropped_tokens
+        && a.broken_routes == b.broken_routes
+        && a.outcome == b.outcome
 }
 
 proptest! {
@@ -93,6 +115,69 @@ proptest! {
             item: RevItem::KnownContenders { ids },
         };
         prop_assert!(m.bit_size() <= cap, "{} > {cap}", m.bit_size());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_across_executors(
+        n in 24usize..48,
+        extra in 8usize..48,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        plan_seed in any::<u64>(),
+    ) {
+        // A FaultPlan with drop rate 0, no crashes, zero delay, and no
+        // cuts must be indistinguishable from the fault-free engine —
+        // on the serial executor and on any thread count.
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64);
+        let baseline = Election::on(&g).config(cfg).seed(seed ^ 0xF00).run().unwrap();
+        for exec in [Exec::Serial, Exec::Threaded(threads)] {
+            let faulted = Election::on(&g)
+                .config(cfg)
+                .seed(seed ^ 0xF00)
+                .executor(exec)
+                .faults(FaultPlan::new(plan_seed))
+                .run()
+                .unwrap();
+            prop_assert!(reports_identical(&baseline, &faulted), "{exec:?}");
+            prop_assert_eq!(faulted.dropped_messages, 0);
+            prop_assert_eq!(faulted.crashed, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_elections_agree_across_executors_and_stay_safe(
+        n in 24usize..48,
+        extra in 8usize..48,
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        drop_pm in 0u32..300,
+    ) {
+        // Under real faults: still deterministic, still bit-identical
+        // across executors, and still never more than one leader.
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64);
+        let plan = FaultPlan::new(seed ^ 0xBAD)
+            .drop_rate(drop_pm as f64 / 1000.0)
+            .crash_fraction(0.05, 20);
+        let serial = Election::on(&g)
+            .config(cfg)
+            .seed(seed ^ 0xF01)
+            .executor(Exec::Serial)
+            .faults(plan.clone())
+            .run()
+            .unwrap();
+        prop_assert!(serial.leaders.len() <= 1, "leaders: {:?}", serial.leaders);
+        let par = Election::on(&g)
+            .config(cfg)
+            .seed(seed ^ 0xF01)
+            .executor(Exec::Threaded(threads))
+            .faults(plan)
+            .run()
+            .unwrap();
+        prop_assert!(reports_identical(&serial, &par));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
 use welle::core::broadcast::run_explicit_election;
 use welle::core::{
-    Campaign, Election, ElectionConfig, ElectionReport, Exec, MsgSizeMode, SyncMode,
+    Campaign, Election, ElectionConfig, ElectionReport, Exec, FaultPlan, MsgSizeMode, SyncMode,
 };
 use welle::graph::{gen, Graph};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
@@ -34,6 +34,10 @@ struct Args {
     csv: bool,
     threads: Option<usize>,
     baseline: Option<String>,
+    drop_rate: Option<f64>,
+    crash: Option<f64>,
+    crash_at: Option<u64>,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -50,7 +54,11 @@ fn usage() -> &'static str {
                        (default: auto — serial unless large, dense, multicore)\n\
        --csv           per-run CSV rows instead of human-readable lines\n\
        --explicit      run explicit election (adds push-pull broadcast)\n\
-       --baseline B    also run a baseline: flood | hs | known-tmix"
+       --baseline B    also run a baseline: flood | hs | known-tmix\n\
+       --drop-rate P   lose each message in transit with probability P\n\
+       --crash F       crash-stop a random fraction F of nodes\n\
+       --crash-at R    round at which --crash strikes (default 1)\n\
+       --fault-seed S  seed of the fault schedule (default: --seed)"
 }
 
 fn parse() -> Result<Args, String> {
@@ -71,6 +79,10 @@ fn parse() -> Result<Args, String> {
         csv: false,
         threads: None,
         baseline: None,
+        drop_rate: None,
+        crash: None,
+        crash_at: None,
+        fault_seed: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -104,6 +116,42 @@ fn parse() -> Result<Args, String> {
                         .map_err(|_| "bad threads")?,
                 );
             }
+            "--drop-rate" => {
+                i += 1;
+                args.drop_rate = Some(
+                    argv.get(i)
+                        .ok_or("--drop-rate needs a value")?
+                        .parse()
+                        .map_err(|_| "bad drop rate")?,
+                );
+            }
+            "--crash" => {
+                i += 1;
+                args.crash = Some(
+                    argv.get(i)
+                        .ok_or("--crash needs a value")?
+                        .parse()
+                        .map_err(|_| "bad crash fraction")?,
+                );
+            }
+            "--crash-at" => {
+                i += 1;
+                args.crash_at = Some(
+                    argv.get(i)
+                        .ok_or("--crash-at needs a value")?
+                        .parse()
+                        .map_err(|_| "bad crash round")?,
+                );
+            }
+            "--fault-seed" => {
+                i += 1;
+                args.fault_seed = Some(
+                    argv.get(i)
+                        .ok_or("--fault-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad fault seed")?,
+                );
+            }
             "--fixed-t" => args.fixed_t = true,
             "--large" => args.large = true,
             "--csv" => args.csv = true,
@@ -117,6 +165,22 @@ fn parse() -> Result<Args, String> {
     }
     if args.explicit && args.threads.is_some() {
         return Err("--threads is not supported with --explicit".to_string());
+    }
+    if args.explicit && (args.drop_rate.is_some() || args.crash.is_some()) {
+        return Err("fault injection is not supported with --explicit".to_string());
+    }
+    if args.baseline.is_some() && (args.drop_rate.is_some() || args.crash.is_some()) {
+        return Err(
+            "fault injection is not supported with --baseline (the baseline would run \
+             fault-free, making the comparison apples-to-oranges)"
+                .to_string(),
+        );
+    }
+    if args.crash.is_none() && args.crash_at.is_some() {
+        return Err("--crash-at has no effect without --crash".to_string());
+    }
+    if args.drop_rate.is_none() && args.crash.is_none() && args.fault_seed.is_some() {
+        return Err("--fault-seed has no effect without --drop-rate or --crash".to_string());
     }
     if args.baseline.is_some() && args.csv {
         return Err("--csv is not supported with --baseline (the baseline lines would corrupt the CSV stream)".to_string());
@@ -187,6 +251,27 @@ fn main() -> ExitCode {
         Some(k) => Exec::Threaded(k),
         None => Exec::Auto,
     };
+    // Adversarial network conditions, replayable from the fault seed.
+    let fault_plan = if args.drop_rate.is_some() || args.crash.is_some() {
+        let mut plan = FaultPlan::new(args.fault_seed.unwrap_or(args.seed));
+        if let Some(rate) = args.drop_rate {
+            plan = plan.drop_rate(rate);
+        }
+        if let Some(frac) = args.crash {
+            plan = plan.crash_fraction(frac, args.crash_at.unwrap_or(1));
+        }
+        // Informational, so it goes to stderr: stdout may be a CSV
+        // stream (`--csv`) that an extra line would corrupt.
+        eprintln!(
+            "faults: drop_rate={} crash_fraction={} crash_at={}",
+            args.drop_rate.unwrap_or(0.0),
+            args.crash.unwrap_or(0.0),
+            args.crash_at.unwrap_or(1)
+        );
+        Some(plan)
+    } else {
+        None
+    };
     let mut ok = true;
     if args.explicit {
         // The two-stage explicit election (implicit + broadcast) has its
@@ -210,7 +295,10 @@ fn main() -> ExitCode {
         // `on_trial` streams each seed's line as it completes, so long
         // sweeps show progress instead of buffering until the end.
         let csv = args.csv;
-        let proto = Election::on(&graph).config(cfg).executor(exec);
+        let mut proto = Election::on(&graph).config(cfg).executor(exec);
+        if let Some(plan) = fault_plan {
+            proto = proto.faults(plan);
+        }
         let outcome = match Campaign::new(proto)
             .label(args.family.clone())
             .seeds(args.seed..args.seed + args.seeds as u64)
@@ -219,9 +307,14 @@ fn main() -> ExitCode {
                 if csv {
                     println!("{},{}", t.seed, rep.csv_row());
                 } else {
+                    let faults = if rep.dropped_messages > 0 || rep.crashed > 0 {
+                        format!(" dropped={} crashed={}", rep.dropped_messages, rep.crashed)
+                    } else {
+                        String::new()
+                    };
                     println!(
                         "seed {}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
-                         rounds={} t_u={} epochs={} gave_up={}",
+                         rounds={} t_u={} epochs={} gave_up={}{faults}",
                         t.seed,
                         rep.leaders,
                         rep.leader_id,

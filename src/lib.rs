@@ -6,7 +6,8 @@
 //! * [`graph`] — port-numbered graphs, generators (expanders, hypercubes,
 //!   cliques, the §4.1 lower-bound construction, §5 dumbbells), and
 //!   conductance/spectral analysis,
-//! * [`congest`] — the synchronous CONGEST simulator,
+//! * [`congest`] — the synchronous CONGEST simulator (with opt-in
+//!   deterministic fault injection: drops, crashes, delays, cuts),
 //! * [`walks`] — lazy random walks, mixing times, walk-trail routing,
 //! * [`core`] — the election algorithm, explicit election, baselines,
 //! * [`lowerbound`] — the §4/§5 lower-bound experiment machinery.

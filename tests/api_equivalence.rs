@@ -1,18 +1,17 @@
-//! API-redesign safety net: the [`Election`] builder and [`Campaign`]
-//! batch layer must be **bit-identical** to the deprecated
-//! `run_election*` free functions on the same `(graph, config, seed)` —
-//! same leaders, same message/bit totals, same round counts — across
-//! every executor choice and both sync modes.
-
-#![allow(deprecated)]
+//! Driving-API safety net: every way of running the same
+//! `(graph, config, seed)` election — any [`Exec`] choice, either sync
+//! mode, observed or not, solo or inside a [`Campaign`] — must be
+//! **bit-identical**: same leaders, same message/bit totals, same round
+//! counts. A zero-fault [`FaultPlan`] must also be indistinguishable
+//! from running without one, and faulted runs must agree across
+//! executors.
 
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
 use welle::congest::TransmitEvent;
 use welle::core::{
-    run_election, run_election_observed, run_election_threaded, run_election_threaded_observed,
-    Campaign, ConfigError, Election, ElectionConfig, ElectionReport, Exec, SyncMode,
+    Campaign, ConfigError, Election, ElectionConfig, ElectionReport, Exec, FaultPlan, SyncMode,
 };
 use welle::graph::{gen, Graph};
 
@@ -34,6 +33,8 @@ fn assert_identical(a: &ElectionReport, b: &ElectionReport, what: &str) {
     assert_eq!(a.final_walk_len, b.final_walk_len, "{what}: final_walk_len");
     assert_eq!(a.epochs_used, b.epochs_used, "{what}: epochs_used");
     assert_eq!(a.gave_up, b.gave_up, "{what}: gave_up");
+    assert_eq!(a.dropped_messages, b.dropped_messages, "{what}: dropped_messages");
+    assert_eq!(a.crashed, b.crashed, "{what}: crashed");
     assert_eq!(a.dropped_tokens, b.dropped_tokens, "{what}: dropped_tokens");
     assert_eq!(a.broken_routes, b.broken_routes, "{what}: broken_routes");
     assert_eq!(a.outcome, b.outcome, "{what}: outcome");
@@ -53,36 +54,31 @@ fn configs() -> Vec<(&'static str, ElectionConfig)> {
     ]
 }
 
-#[test]
-fn builder_matches_run_election_across_sync_modes() {
-    let g = expander(96, 5);
-    for (name, cfg) in configs() {
-        for seed in [1u64, 2, 3] {
-            let old = run_election(&g, &cfg, seed);
-            let new = Election::on(&g)
-                .config(cfg)
-                .seed(seed)
-                .executor(Exec::Serial)
-                .run()
-                .unwrap();
-            assert_identical(&old, &new, &format!("{name}/serial/seed {seed}"));
-        }
-    }
+fn elect(g: &Arc<Graph>, cfg: ElectionConfig, seed: u64, exec: Exec) -> ElectionReport {
+    Election::on(g)
+        .config(cfg)
+        .seed(seed)
+        .executor(exec)
+        .run()
+        .unwrap()
 }
 
 #[test]
-fn builder_matches_run_election_threaded() {
-    let g = expander(96, 6);
+fn executors_are_bit_identical_across_sync_modes() {
+    let g = expander(96, 5);
     for (name, cfg) in configs() {
-        for threads in [1usize, 3] {
-            let old = run_election_threaded(&g, &cfg, 9, threads);
-            let new = Election::on(&g)
-                .config(cfg)
-                .seed(9)
-                .executor(Exec::Threaded(threads))
-                .run()
-                .unwrap();
-            assert_identical(&old, &new, &format!("{name}/threaded({threads})"));
+        for seed in [1u64, 2, 3] {
+            let serial = elect(&g, cfg, seed, Exec::Serial);
+            for (exec_name, exec) in
+                [("threaded1", Exec::Threaded(1)), ("threaded3", Exec::Threaded(3))]
+            {
+                let par = elect(&g, cfg, seed, exec);
+                assert_identical(
+                    &serial,
+                    &par,
+                    &format!("{name}/{exec_name}/seed {seed}"),
+                );
+            }
         }
     }
 }
@@ -91,51 +87,46 @@ fn builder_matches_run_election_threaded() {
 fn auto_executor_is_bit_identical_to_both() {
     let g = expander(96, 7);
     for (name, cfg) in configs() {
-        let serial = run_election(&g, &cfg, 4);
-        let threaded = run_election_threaded(&g, &cfg, 4, 2);
-        let auto = Election::on(&g)
-            .config(cfg)
-            .seed(4)
-            .executor(Exec::Auto)
-            .run()
-            .unwrap();
+        let serial = elect(&g, cfg, 4, Exec::Serial);
+        let threaded = elect(&g, cfg, 4, Exec::Threaded(2));
+        let auto = elect(&g, cfg, 4, Exec::Auto);
         assert_identical(&serial, &auto, &format!("{name}/auto vs serial"));
         assert_identical(&threaded, &auto, &format!("{name}/auto vs threaded"));
     }
 }
 
 #[test]
-fn observed_variants_match_and_observers_see_the_same_traffic() {
+fn observers_see_identical_traffic_on_every_executor() {
     let g = expander(96, 8);
     let cfg = ElectionConfig::tuned_for_simulation(96);
 
-    let mut old_events: Vec<(u64, usize)> = Vec::new();
-    let mut old_obs = |ev: &TransmitEvent| old_events.push((ev.round, ev.from.index()));
-    let old = run_election_observed(&g, &cfg, 11, &mut old_obs);
-
-    let mut new_events: Vec<(u64, usize)> = Vec::new();
-    let mut new_obs = |ev: &TransmitEvent| new_events.push((ev.round, ev.from.index()));
-    let new = Election::on(&g)
+    let mut serial_events: Vec<(u64, usize)> = Vec::new();
+    let mut serial_obs = |ev: &TransmitEvent| serial_events.push((ev.round, ev.from.index()));
+    let serial = Election::on(&g)
         .config(cfg)
         .seed(11)
         .executor(Exec::Serial)
-        .observer(&mut new_obs)
+        .observer(&mut serial_obs)
+        .run()
+        .unwrap();
+    assert_eq!(serial_events.len() as u64, serial.messages);
+
+    let mut par_events: Vec<(u64, usize)> = Vec::new();
+    let mut par_obs = |ev: &TransmitEvent| par_events.push((ev.round, ev.from.index()));
+    let par = Election::on(&g)
+        .config(cfg)
+        .seed(11)
+        .executor(Exec::Threaded(3))
+        .observer(&mut par_obs)
         .run()
         .unwrap();
 
-    assert_identical(&old, &new, "observed/serial");
-    assert_eq!(old_events, new_events, "event streams must be identical");
-    assert_eq!(old_events.len() as u64, old.messages);
-
-    let mut t_events = 0u64;
-    let mut t_obs = |_: &TransmitEvent| t_events += 1;
-    let old_t = run_election_threaded_observed(&g, &cfg, 11, 3, &mut t_obs);
-    assert_identical(&old, &old_t, "threaded_observed vs serial observed");
-    assert_eq!(t_events, old_t.messages);
+    assert_identical(&serial, &par, "observed serial vs threaded");
+    assert_eq!(serial_events, par_events, "event streams must be identical");
 }
 
 #[test]
-fn campaign_trials_match_individual_free_function_runs() {
+fn campaign_trials_match_individual_runs() {
     let g = expander(96, 9);
     let cfg = ElectionConfig::tuned_for_simulation(96);
     let outcome = Campaign::new(Election::on(&g).config(cfg))
@@ -144,8 +135,8 @@ fn campaign_trials_match_individual_free_function_runs() {
         .unwrap();
     assert_eq!(outcome.trials.len(), 5);
     for t in &outcome.trials {
-        let old = run_election(&g, &cfg, t.seed);
-        assert_identical(&old, &t.report, &format!("campaign seed {}", t.seed));
+        let solo = Election::on(&g).config(cfg).seed(t.seed).run().unwrap();
+        assert_identical(&solo, &t.report, &format!("campaign seed {}", t.seed));
     }
     let s = outcome.summary();
     assert_eq!(s.trials, 5);
@@ -160,7 +151,67 @@ fn campaign_trials_match_individual_free_function_runs() {
 }
 
 #[test]
-fn builder_reports_config_errors_the_shims_would_panic_on() {
+fn zero_fault_plan_is_indistinguishable_from_no_plan() {
+    let g = expander(96, 12);
+    for (name, cfg) in configs() {
+        let plain = elect(&g, cfg, 6, Exec::Serial);
+        for exec in [Exec::Serial, Exec::Threaded(3)] {
+            let faulted = Election::on(&g)
+                .config(cfg)
+                .seed(6)
+                .executor(exec)
+                .faults(FaultPlan::new(999))
+                .run()
+                .unwrap();
+            assert_identical(&plain, &faulted, &format!("{name}/zero-fault {exec:?}"));
+            assert_eq!(faulted.dropped_messages, 0);
+            assert_eq!(faulted.crashed, 0);
+        }
+    }
+}
+
+#[test]
+fn faulted_elections_are_bit_identical_across_executors() {
+    let g = expander(96, 13);
+    let cfg = ElectionConfig {
+        // Cap the guess-and-double search: under heavy faults the
+        // certificates may never hold, and the cap keeps the give-up
+        // visible and cheap.
+        max_walk_len: Some(64),
+        ..ElectionConfig::tuned_for_simulation(96)
+    };
+    let plan = FaultPlan::new(3)
+        .drop_rate(0.1)
+        .crash_fraction(0.05, 40)
+        .delay_all(1);
+    let serial = Election::on(&g)
+        .config(cfg)
+        .seed(2)
+        .executor(Exec::Serial)
+        .faults(plan.clone())
+        .run()
+        .unwrap();
+    assert!(serial.dropped_messages > 0, "the plan must actually bite");
+    for threads in [1usize, 4] {
+        let par = Election::on(&g)
+            .config(cfg)
+            .seed(2)
+            .executor(Exec::Threaded(threads))
+            .faults(plan.clone())
+            .run()
+            .unwrap();
+        assert_identical(&serial, &par, &format!("faulted threaded({threads})"));
+    }
+    // Campaign scenarios carry plans too, through the same code path.
+    let outcome = Campaign::new(Election::on(&g).config(cfg).faults(plan))
+        .seeds([2])
+        .run()
+        .unwrap();
+    assert_identical(&serial, &outcome.trials[0].report, "faulted campaign");
+}
+
+#[test]
+fn builder_reports_config_errors_before_running() {
     let g = expander(32, 10);
     let bad = ElectionConfig {
         c_t: f64::NEG_INFINITY,
@@ -178,4 +229,16 @@ fn builder_reports_config_errors_the_shims_would_panic_on() {
         .run()
         .unwrap_err();
     assert_eq!(err, ConfigError::ZeroWalkCap);
+    // Fault plans are validated with everything else, before simulation.
+    let err = Election::on(&g)
+        .faults(FaultPlan::new(0).drop_rate(2.0))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::Fault(_)), "{err:?}");
+    let err = Campaign::new(Election::on(&g))
+        .faults(FaultPlan::new(0).crash(99, 1))
+        .seeds(0..1000) // would be expensive if it ran anything
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::Fault(_)), "{err:?}");
 }

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{Election, ElectionConfig, ElectionReport};
+use welle::core::{Election, ElectionConfig, ElectionReport, FaultPlan};
 use welle::graph::{gen, Graph};
 
 fn expander(n: usize, seed: u64) -> Arc<Graph> {
@@ -110,6 +110,80 @@ fn disconnected_graph_elects_per_component() {
     if r.leaders.len() == 2 {
         let sides: Vec<bool> = r.leaders.iter().map(|&i| i < 64).collect();
         assert_ne!(sides[0], sides[1], "leaders must be in different components");
+    }
+}
+
+#[test]
+fn crashing_every_contender_elects_nobody_and_reports_it() {
+    // Crash-stop the whole network (a superset of every contender) one
+    // round after start-up: contenders exist, nobody can ever certify,
+    // and the failure must be *visible* — zero leaders and a nonzero
+    // crash count in the report — never a silently wrong answer.
+    let g = expander(64, 7);
+    let cfg = ElectionConfig::tuned_for_simulation(64);
+    let r = Election::on(&g)
+        .config(cfg)
+        .seed(3)
+        .faults(FaultPlan::new(0).crash_fraction(1.0, 1))
+        .run()
+        .unwrap();
+    assert!(r.contenders > 0, "coin flips happen at round 0, before the crash");
+    assert!(r.leaders.is_empty(), "dead contenders cannot win: {:?}", r.leaders);
+    assert!(!r.is_success());
+    assert_eq!(r.crashed, 64, "the report must surface the crash schedule");
+    assert!(!r.outcome.is_done(), "a crashed network never reports done");
+}
+
+#[test]
+fn heavy_drops_fail_visibly_through_gave_up() {
+    // With most messages lost the Intersection/Distinctness certificates
+    // are unreachable; contenders must exhaust the cap and *say so*.
+    let g = expander(64, 9);
+    let cfg = ElectionConfig {
+        max_walk_len: Some(32), // keep the futile doubling cheap
+        ..ElectionConfig::tuned_for_simulation(64)
+    };
+    let r = Election::on(&g)
+        .config(cfg)
+        .seed(5)
+        .faults(FaultPlan::new(2).drop_rate(0.9))
+        .run()
+        .unwrap();
+    assert!(r.dropped_messages > 0);
+    assert!(r.leaders.len() <= 1, "{:?}", r.leaders);
+    assert!(
+        !r.is_success(),
+        "90% loss must not elect: leaders = {:?}",
+        r.leaders
+    );
+    assert!(r.gave_up > 0, "failure must be visible as give-ups");
+}
+
+#[test]
+fn cutting_the_dumbbell_bridges_splits_the_brain() {
+    // The §5 dumbbell held together by two bridges: cut both at round 0
+    // and each bell runs its own isolated election — up to one leader
+    // per side, never two on the same side.
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = gen::random_regular(32, 4, &mut rng).unwrap();
+    let db = gen::dumbbell(&base, &mut rng).unwrap();
+    let mut plan = FaultPlan::new(0);
+    let half = db.half_n();
+    let graph = Arc::new(db.into_graph());
+    for (_, u, v) in graph.edges() {
+        if (u.index() < half) != (v.index() < half) {
+            plan = plan.cut(u.index(), v.index(), 0);
+        }
+    }
+    let cfg = ElectionConfig {
+        max_walk_len: Some(64),
+        ..ElectionConfig::tuned_for_simulation(graph.n())
+    };
+    let r = Election::on(&graph).config(cfg).seed(6).faults(plan).run().unwrap();
+    assert!(r.leaders.len() <= 2, "{:?}", r.leaders);
+    if r.leaders.len() == 2 {
+        let sides: Vec<bool> = r.leaders.iter().map(|&i| i < half).collect();
+        assert_ne!(sides[0], sides[1], "leaders must be in different halves");
     }
 }
 
