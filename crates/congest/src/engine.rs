@@ -220,6 +220,60 @@ impl<P: Protocol> Engine<P> {
         Engine::new(graph, nodes, cfg)
     }
 
+    /// Resets this engine in place to exactly the state
+    /// [`Engine::from_fn`]`(graph, cfg, make)` would construct, but
+    /// reusing every arena the previous run grew — node and RNG vectors,
+    /// per-node inboxes, the edge-queue slot pool, delivery and pending
+    /// batches. The graph may differ from the previous run's (vectors
+    /// resize as needed), which is what lets a batch scheduler keep one
+    /// engine per worker across thousands of trials.
+    ///
+    /// A reset engine is bit-identical to a fresh one: the only
+    /// difference is where its buffers' memory came from.
+    pub fn reset_with(
+        &mut self,
+        graph: Arc<Graph>,
+        cfg: EngineConfig,
+        mut make: impl FnMut(usize) -> P,
+    ) {
+        let n = graph.n();
+        let dcount = graph.directed_edge_count();
+        self.nodes.clear();
+        self.nodes.extend((0..n).map(&mut make));
+        self.rngs.clear();
+        self.rngs.extend((0..n).map(|i| node_rng(cfg.seed, i)));
+        self.queues.reset(dcount);
+        for inbox in self.inboxes.iter_mut() {
+            inbox.clear(); // keep each node's inbox allocation
+        }
+        self.inboxes.resize_with(n, Vec::new);
+        self.inbox_active.clear();
+        self.inbox_flag.clear();
+        self.inbox_flag.resize(n, false);
+        self.wakeups.clear();
+        self.round = 0;
+        self.started = false;
+        self.done_flags.clear();
+        self.done_flags.resize(n, false);
+        self.done_count = 0;
+        self.metrics.reset(n);
+        self.deliveries.clear();
+        self.pending.clear();
+        self.last_carried.clear();
+        self.last_carried.resize(dcount, u64::MAX);
+        self.faults = None;
+        self.graph = graph;
+        self.cfg = cfg;
+    }
+
+    /// Total slots the engine's reusable message buffers can hold
+    /// without re-allocating: the edge-queue arena plus the delivery and
+    /// pending batches. Diagnostic only — pooling tests assert that
+    /// [`Engine::reset_with`] preserves it.
+    pub fn arena_capacity(&self) -> usize {
+        self.queues.arena_capacity() + self.deliveries.capacity() + self.pending.capacity()
+    }
+
     /// Current round.
     pub fn round(&self) -> u64 {
         self.round
@@ -1093,6 +1147,73 @@ mod tests {
         assert_eq!(e.node(1).best(), 1);
         assert_eq!(e.node(2).best(), 2);
         assert!(e.metrics().dropped_messages >= 1);
+    }
+
+    #[test]
+    fn reset_engine_is_bit_identical_to_fresh() {
+        // Run once (dirtying every piece of state, including fault
+        // structures and edge backlog), reset, run again: the second run
+        // must match a never-used engine exactly.
+        use crate::faults::FaultPlan;
+        let g = Arc::new(gen::ring(16).unwrap());
+        let cfg = EngineConfig {
+            seed: 21,
+            bandwidth_bits: None,
+        };
+        let mk = |i: usize| FloodMax::new(i as u64);
+        let mut pooled = Engine::from_fn(Arc::clone(&g), cfg, mk);
+        pooled.set_fault_plan(&FaultPlan::new(7).drop_rate(0.3)).unwrap();
+        pooled.run(10_000);
+
+        // Reset onto a *different* graph and seed.
+        let g2 = Arc::new(gen::star(9).unwrap());
+        let cfg2 = EngineConfig {
+            seed: 4,
+            bandwidth_bits: None,
+        };
+        pooled.reset_with(Arc::clone(&g2), cfg2, mk);
+        let mut rec_pooled = RecordingObserver::default();
+        let out_pooled = pooled.run_observed(10_000, &mut rec_pooled);
+
+        let mut fresh = Engine::from_fn(g2, cfg2, mk);
+        let mut rec_fresh = RecordingObserver::default();
+        let out_fresh = fresh.run_observed(10_000, &mut rec_fresh);
+
+        assert_eq!(out_pooled, out_fresh);
+        assert_eq!(pooled.metrics().messages, fresh.metrics().messages);
+        assert_eq!(pooled.metrics().bits, fresh.metrics().bits);
+        assert_eq!(pooled.metrics().dropped_messages, 0);
+        assert_eq!(rec_pooled.events, rec_fresh.events);
+        for (a, b) in pooled.nodes().iter().zip(fresh.nodes()) {
+            assert_eq!(a.best(), b.best());
+        }
+    }
+
+    #[test]
+    fn reset_keeps_the_arenas() {
+        // A bursty protocol forces the edge-queue arena to grow; a reset
+        // must keep that capacity instead of re-allocating per trial.
+        struct Burst;
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                for k in 0..8 {
+                    ctx.send(Port::new(0), k);
+                }
+            }
+            fn on_round(&mut self, _: &mut Context<'_, u64>, i: &mut Vec<(Port, u64)>) {
+                i.clear();
+            }
+        }
+        let g = Arc::new(gen::path(2).unwrap());
+        let mut e = Engine::from_fn(Arc::clone(&g), EngineConfig::default(), |_| Burst);
+        e.run(100);
+        let grown = e.arena_capacity();
+        assert!(grown > 0, "the burst must have grown the arena");
+        e.reset_with(g, EngineConfig::default(), |_| Burst);
+        assert_eq!(e.arena_capacity(), grown, "reset must not shed capacity");
+        e.run(100);
+        assert_eq!(e.arena_capacity(), grown, "warm rerun must not re-allocate");
     }
 
     #[test]

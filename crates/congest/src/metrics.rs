@@ -36,6 +36,19 @@ impl Metrics {
             ..Metrics::default()
         }
     }
+
+    /// Zeroes every counter for a network of `n` nodes, reusing the
+    /// `sent_by_node` allocation (the pooled-engine reset path).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.messages = 0;
+        self.bits = 0;
+        self.sent_by_node.clear();
+        self.sent_by_node.resize(n, 0);
+        self.active_rounds = 0;
+        self.max_edge_backlog = 0;
+        self.dropped_messages = 0;
+        self.crashed_nodes = 0;
+    }
 }
 
 /// One message crossing one directed edge.

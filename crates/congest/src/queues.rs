@@ -84,6 +84,33 @@ impl<M> EdgeQueues<M> {
         self.total_queued
     }
 
+    /// Restores the empty state for a (possibly different) edge set while
+    /// keeping the slot arena: every pool slot is cleared and rethreaded
+    /// onto the free list, so a reset-and-reused queue set never
+    /// re-allocates for traffic the previous run already paid for.
+    pub(crate) fn reset(&mut self, directed_edges: usize) {
+        self.head.clear();
+        self.head.resize(directed_edges, NIL);
+        self.tail.clear();
+        self.tail.resize(directed_edges, NIL);
+        self.free = NIL;
+        for i in (0..self.pool.len()).rev() {
+            self.pool[i] = None;
+            self.next[i] = self.free;
+            self.free = i as u32;
+        }
+        self.active.clear();
+        self.total_queued = 0;
+        self.backlog.clear();
+        self.backlog.resize(directed_edges, 0);
+    }
+
+    /// Slots the message arena can hold without re-allocating
+    /// (diagnostic: pooling tests assert a reset keeps this).
+    pub(crate) fn arena_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
     /// Transmits one message per active directed edge, appending
     /// `(directed_index, msg)` pairs to `out` in active-list order;
     /// maintains the active list for the next round.

@@ -22,6 +22,8 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use welle_congest::{FaultPlan, NoopObserver, TransmitObserver};
@@ -30,7 +32,28 @@ use welle_graph::Graph;
 use crate::config::{ElectionConfig, Params};
 use crate::election::{Election, Exec};
 use crate::error::ConfigError;
-use crate::runner::{run_resolved, ElectionReport};
+use crate::runner::{run_resolved, ElectionReport, PooledEngine};
+use crate::scheduler::run_pool;
+use crate::sink::{ParsedTrial, StreamSink};
+
+/// Process-wide default for [`Campaign::trial_threads`], settable once
+/// by batch drivers (see [`set_default_trial_threads`]).
+static DEFAULT_TRIAL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the default worker-thread count for campaigns that do not call
+/// [`Campaign::trial_threads`] themselves (clamped to ≥ 1). The
+/// `all_experiments` batch binary uses this to thread every
+/// experiment's campaigns from a single `--trial-threads` flag without
+/// threading the option through each experiment's code.
+pub fn set_default_trial_threads(k: usize) {
+    DEFAULT_TRIAL_THREADS.store(k.max(1), Ordering::SeqCst);
+}
+
+/// The current process-wide default campaign worker count (see
+/// [`set_default_trial_threads`]); 1 unless a batch driver raised it.
+pub fn default_trial_threads() -> usize {
+    DEFAULT_TRIAL_THREADS.load(Ordering::SeqCst)
+}
 
 /// Per-trial streaming callback ([`Campaign::on_trial`]).
 type TrialHook<'o> = Box<dyn FnMut(&Trial) + 'o>;
@@ -58,6 +81,28 @@ pub struct Trial {
     pub seed: u64,
     /// The full per-run report.
     pub report: ElectionReport,
+}
+
+impl Trial {
+    /// The CSV column names matching [`Trial::csv_row`]: the scenario
+    /// label and seed identifying the trial, then every
+    /// [`ElectionReport::csv_header`] column. Also the header of the
+    /// [`Campaign::stream_csv`] sink / resume manifest.
+    pub fn csv_header() -> String {
+        format!("scenario,seed,{}", ElectionReport::csv_header())
+    }
+
+    /// This trial as one CSV row. The scenario label is a free-form
+    /// string and is RFC-4180-quoted via [`crate::csv::escape`], so
+    /// labels containing commas or quotes survive a round-trip intact.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{}",
+            crate::csv::escape(&self.scenario),
+            self.seed,
+            self.report.csv_row()
+        )
+    }
 }
 
 /// `min`/`median`/`max`/`mean` of one metric across a scenario's trials.
@@ -141,11 +186,13 @@ impl CampaignSummary {
          msgs_min,msgs_median,msgs_max,rounds_min,rounds_median,rounds_max"
     }
 
-    /// This summary as one CSV row.
+    /// This summary as one CSV row. The scenario label is
+    /// RFC-4180-quoted (see [`crate::csv::escape`]), so comma-bearing
+    /// labels cannot corrupt the column structure.
     pub fn csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            self.scenario,
+            crate::csv::escape(&self.scenario),
             self.n,
             self.m,
             self.trials,
@@ -191,10 +238,24 @@ impl fmt::Display for CampaignSummary {
 /// (scenario-major, then seed), and one [`CampaignSummary`] per scenario.
 #[derive(Clone, Debug)]
 pub struct CampaignReport {
-    /// Every trial, in run order.
+    /// Every freshly-run trial, in run order. Trials recovered from a
+    /// resume manifest are *not* re-materialized here (their full
+    /// reports were never persisted); they are counted in
+    /// [`CampaignReport::resumed_trials`] and contribute to the
+    /// summaries.
     pub trials: Vec<Trial>,
     /// One aggregate per scenario, in scenario order.
     pub summaries: Vec<CampaignSummary>,
+    /// Serial engines constructed while running the trials. With the
+    /// pooled trial scheduler this stays at (at most) one per worker
+    /// thread — not one per trial — because workers reset and reuse
+    /// their engine's arenas between trials. Trials forced onto an
+    /// explicit [`Exec::Threaded`] engine are not pooled and not
+    /// counted.
+    pub engines_built: usize,
+    /// Trials recovered from the resume manifest instead of re-run
+    /// (always a prefix of the campaign's trial order).
+    pub resumed_trials: usize,
 }
 
 impl CampaignReport {
@@ -228,8 +289,52 @@ pub struct Campaign<'o> {
     scenarios: Vec<Scenario>,
     seeds: Vec<u64>,
     exec: Exec,
+    trial_threads: Option<usize>,
+    budget: Option<usize>,
+    sink_path: Option<PathBuf>,
+    resume: bool,
     obs: Option<&'o mut dyn TransmitObserver>,
     on_trial: Option<TrialHook<'o>>,
+}
+
+/// Per-scenario aggregation state, fed one trial at a time in
+/// deterministic order (resumed trials first, then fresh ones).
+#[derive(Default)]
+struct Acc {
+    successes: usize,
+    no_leader: usize,
+    multi_leader: usize,
+    gave_up: usize,
+    messages: Vec<u64>,
+    rounds: Vec<u64>,
+}
+
+impl Acc {
+    fn absorb(&mut self, leaders: usize, gave_up: usize, messages: u64, rounds: u64) {
+        match leaders {
+            0 => self.no_leader += 1,
+            1 => self.successes += 1,
+            _ => self.multi_leader += 1,
+        }
+        self.gave_up += gave_up;
+        self.messages.push(messages);
+        self.rounds.push(rounds);
+    }
+
+    fn into_summary(mut self, s: &Scenario) -> CampaignSummary {
+        CampaignSummary {
+            scenario: s.label.clone(),
+            n: s.graph.n(),
+            m: s.graph.m(),
+            trials: self.messages.len(),
+            successes: self.successes,
+            no_leader: self.no_leader,
+            multi_leader: self.multi_leader,
+            gave_up: self.gave_up,
+            messages: Stats::of(&mut self.messages),
+            rounds: Stats::of(&mut self.rounds),
+        }
+    }
 }
 
 impl<'o> Campaign<'o> {
@@ -258,9 +363,70 @@ impl<'o> Campaign<'o> {
             }],
             seeds: vec![seed],
             exec,
+            trial_threads: None,
+            budget: None,
+            sink_path: None,
+            resume: false,
             obs,
             on_trial: None,
         }
+    }
+
+    /// Runs the campaign's trials on a work-stealing pool of `k`
+    /// persistent worker threads (`1` = the classic in-place serial
+    /// loop). Trials are seeded and independent, and completions are
+    /// reassembled into the serial (scenario, seed) order before
+    /// anything observable happens — summaries, [`Campaign::on_trial`]
+    /// calls, and streamed CSV rows are **bit-identical at any worker
+    /// count**. Each worker keeps one pooled engine and reuses its
+    /// arenas across trials (see [`CampaignReport::engines_built`]).
+    ///
+    /// Campaigns that never call this use the process-wide
+    /// [`default_trial_threads`]. A prototype observer
+    /// ([`Election::observer`]) forces the serial loop regardless, since
+    /// its event stream interleaves across trials. When `k > 1` the
+    /// pool owns the host's cores, so [`Exec::Auto`] resolves to
+    /// [`Exec::Serial`] for every trial — engines are never nested
+    /// inside trial workers (an explicit [`Exec::Threaded`] is still
+    /// honored, unpooled).
+    pub fn trial_threads(mut self, k: usize) -> Self {
+        self.trial_threads = Some(k);
+        self
+    }
+
+    /// Streams every completed trial as one CSV row (header
+    /// [`Trial::csv_header`], rows [`Trial::csv_row`]) to `path`,
+    /// flushed per trial in deterministic order. An interrupted run
+    /// therefore leaves a valid prefix of the full output on disk, and
+    /// the same file doubles as the [`Campaign::resume`] manifest.
+    pub fn stream_csv(mut self, path: impl Into<PathBuf>) -> Self {
+        self.sink_path = Some(path.into());
+        self
+    }
+
+    /// With [`Campaign::stream_csv`]: when the sink file already holds
+    /// a valid prefix of this campaign's trials, skip re-running them
+    /// and restart at the first missing trial — the interrupted-sweep
+    /// recovery path. Recovered trials contribute to the summaries and
+    /// to [`CampaignReport::resumed_trials`], but their full
+    /// [`ElectionReport`]s are gone, so they do not reappear in
+    /// [`CampaignReport::trials`]. A missing sink file resumes as a
+    /// fresh run; a file from a *different* campaign is a
+    /// [`ConfigError::ResumeMismatch`]. Without `stream_csv` this
+    /// setting has no effect.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Stops after the campaign's first `max` trials in deterministic
+    /// order (counting trials recovered via [`Campaign::resume`]) —
+    /// deterministic interruption for budgeted batch jobs and for
+    /// testing the resume path. Scenarios past the cut-off simply
+    /// report fewer (possibly zero) trials in their summaries.
+    pub fn budget_trials(mut self, max: usize) -> Self {
+        self.budget = Some(max);
+        self
     }
 
     /// Streams each completed [`Trial`] to `f` as the sweep runs —
@@ -366,25 +532,52 @@ impl<'o> Campaign<'o> {
         self
     }
 
-    /// Validates every scenario up front, then runs the full sweep
-    /// (scenario-major, then seed order).
+    /// Validates every scenario up front, then runs the full sweep in
+    /// deterministic (scenario-major, then seed) order — on the trial
+    /// scheduler when [`Campaign::trial_threads`] asked for more than
+    /// one worker, as the classic serial loop otherwise. Either way the
+    /// outcome is bit-identical.
     ///
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] among the scenarios — checked
-    /// before anything is simulated — or [`ConfigError::NoSeeds`] for an
-    /// empty seed set.
-    pub fn run(mut self) -> Result<CampaignReport, ConfigError> {
-        if self.seeds.is_empty() {
+    /// before anything is simulated — [`ConfigError::NoSeeds`] for an
+    /// empty seed set, [`ConfigError::ZeroThreads`] for
+    /// `trial_threads(0)`, and sink/manifest failures as
+    /// [`ConfigError::SinkIo`] / [`ConfigError::ResumeMismatch`].
+    pub fn run(self) -> Result<CampaignReport, ConfigError> {
+        let Campaign {
+            scenarios,
+            seeds,
+            exec,
+            trial_threads,
+            budget,
+            sink_path,
+            resume,
+            mut obs,
+            mut on_trial,
+        } = self;
+        if seeds.is_empty() {
             return Err(ConfigError::NoSeeds);
         }
+        let workers = match trial_threads {
+            Some(0) => return Err(ConfigError::ZeroThreads),
+            Some(k) => k,
+            None => default_trial_threads(),
+        };
+        // When the trial pool owns the cores (workers > 1), Auto must
+        // see a spare-core budget of 1 so it resolves to Serial —
+        // threaded engines are never nested inside trial workers.
+        let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let engine_cores = if workers > 1 { 1 } else { host_cores };
+
         // Validate everything before simulating anything: a campaign
         // must not die half-way through on a typo in scenario 7.
-        let mut prepared = Vec::with_capacity(self.scenarios.len());
-        for s in &self.scenarios {
+        let mut prepared = Vec::with_capacity(scenarios.len());
+        for s in &scenarios {
             let n = s.believed_n.unwrap_or_else(|| s.graph.n());
             let params = Arc::new(Params::try_derive(n, s.cfg)?);
-            let threads = self.exec.threads(&s.graph)?;
+            let threads = exec.threads_with(&s.graph, engine_cores)?;
             // Fault plans compile once per scenario (O(n + m)) and are
             // shared by every seed's trial.
             let faults = match &s.faults {
@@ -394,60 +587,136 @@ impl<'o> Campaign<'o> {
             prepared.push((params, threads, faults));
         }
 
-        let mut noop = NoopObserver;
-        let mut trials = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
-        let mut summaries = Vec::with_capacity(self.scenarios.len());
-        for (s, (params, threads, faults)) in self.scenarios.iter().zip(prepared) {
-            let mut messages = Vec::with_capacity(self.seeds.len());
-            let mut rounds = Vec::with_capacity(self.seeds.len());
-            let mut summary = CampaignSummary {
-                scenario: s.label.clone(),
-                n: s.graph.n(),
-                m: s.graph.m(),
-                trials: self.seeds.len(),
-                successes: 0,
-                no_leader: 0,
-                multi_leader: 0,
-                gave_up: 0,
-                messages: Stats::of(&mut []),
-                rounds: Stats::of(&mut []),
+        // The deterministic trial order every execution mode reproduces.
+        let order: Vec<(usize, u64)> = scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| seeds.iter().map(move |&seed| (si, seed)))
+            .collect();
+        let total = order.len();
+        let stop_at = budget.map_or(total, |b| b.min(total));
+
+        // Open the streaming sink; under `resume`, recover the
+        // completed prefix from it first.
+        let header = Trial::csv_header();
+        let mut resumed: Vec<ParsedTrial> = Vec::new();
+        let mut sink = match (&sink_path, resume) {
+            (Some(path), true) => {
+                let expected: Vec<(&str, u64)> = order
+                    .iter()
+                    .map(|&(si, seed)| (scenarios[si].label.as_str(), seed))
+                    .collect();
+                let (sink, parsed) = StreamSink::resume(path, &header, &expected)?;
+                resumed = parsed;
+                Some(sink)
+            }
+            (Some(path), false) => Some(StreamSink::create(path, &header)?),
+            (None, _) => None,
+        };
+        let start = resumed.len().min(stop_at);
+
+        let mut accs: Vec<Acc> = scenarios.iter().map(|_| Acc::default()).collect();
+        for (i, p) in resumed.iter().enumerate() {
+            let (si, _) = order[i];
+            accs[si].absorb(p.leaders, p.gave_up, p.messages, p.rounds);
+        }
+
+        let mut trials: Vec<Trial> = Vec::with_capacity(stop_at - start);
+        let mut sink_err: Option<ConfigError> = None;
+        // The single completion path: called in deterministic trial
+        // order by both execution modes, it aggregates, streams, and
+        // fires the hook. Sink failures are latched and reported after
+        // the in-flight trials drain.
+        let mut record = |i: usize, report: ElectionReport| {
+            let (si, seed) = order[i];
+            let trial = Trial {
+                scenario: scenarios[si].label.clone(),
+                seed,
+                report,
             };
-            for &seed in &self.seeds {
-                let obs: &mut dyn TransmitObserver = match self.obs.as_deref_mut() {
+            accs[si].absorb(
+                trial.report.leaders.len(),
+                trial.report.gave_up,
+                trial.report.messages,
+                trial.report.engine_rounds,
+            );
+            if sink_err.is_none() {
+                if let Some(s) = sink.as_mut() {
+                    if let Err(e) = s.write_row(&trial.csv_row()) {
+                        sink_err = Some(e);
+                    }
+                }
+            }
+            if let Some(f) = on_trial.as_mut() {
+                f(&trial);
+            }
+            trials.push(trial);
+        };
+
+        let engines_built = if workers > 1 && obs.is_none() {
+            let run_one = |pool: &mut PooledEngine, u: usize| {
+                let (si, seed) = order[start + u];
+                let (params, threads, faults) = &prepared[si];
+                match threads {
+                    None => pool.run(
+                        &scenarios[si].graph,
+                        params,
+                        seed,
+                        faults.as_ref(),
+                        &mut NoopObserver,
+                    ),
+                    Some(k) => run_resolved(
+                        &scenarios[si].graph,
+                        Arc::clone(params),
+                        Some(*k),
+                        seed,
+                        faults.as_ref(),
+                        &mut NoopObserver,
+                    ),
+                }
+            };
+            run_pool(stop_at - start, workers, run_one, |u, report| {
+                record(start + u, report)
+            })
+        } else {
+            let mut pool = PooledEngine::new();
+            let mut noop = NoopObserver;
+            for (i, &(si, seed)) in order.iter().enumerate().take(stop_at).skip(start) {
+                let (params, threads, faults) = &prepared[si];
+                let o: &mut dyn TransmitObserver = match obs.as_deref_mut() {
                     Some(o) => o,
                     None => &mut noop,
                 };
-                let report = run_resolved(
-                    &s.graph,
-                    Arc::clone(&params),
-                    threads,
-                    seed,
-                    faults.as_ref(),
-                    obs,
-                );
-                match report.leaders.len() {
-                    0 => summary.no_leader += 1,
-                    1 => summary.successes += 1,
-                    _ => summary.multi_leader += 1,
-                }
-                summary.gave_up += report.gave_up;
-                messages.push(report.messages);
-                rounds.push(report.engine_rounds);
-                let trial = Trial {
-                    scenario: s.label.clone(),
-                    seed,
-                    report,
+                let report = match threads {
+                    None => pool.run(&scenarios[si].graph, params, seed, faults.as_ref(), o),
+                    Some(k) => run_resolved(
+                        &scenarios[si].graph,
+                        Arc::clone(params),
+                        Some(*k),
+                        seed,
+                        faults.as_ref(),
+                        o,
+                    ),
                 };
-                if let Some(f) = self.on_trial.as_mut() {
-                    f(&trial);
-                }
-                trials.push(trial);
+                record(i, report);
             }
-            summary.messages = Stats::of(&mut messages);
-            summary.rounds = Stats::of(&mut rounds);
-            summaries.push(summary);
+            pool.built
+        };
+        if let Some(e) = sink_err {
+            return Err(e);
         }
-        Ok(CampaignReport { trials, summaries })
+
+        let summaries = scenarios
+            .iter()
+            .zip(accs)
+            .map(|(s, acc)| acc.into_summary(s))
+            .collect();
+        Ok(CampaignReport {
+            trials,
+            summaries,
+            engines_built,
+            resumed_trials: resumed.len(),
+        })
     }
 }
 
@@ -606,6 +875,250 @@ mod tests {
             .run()
             .unwrap();
         assert_ne!(plain.trials[0].report.messages, solo.messages);
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        // Keep test artifacts inside the workspace target directory.
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../target/test-tmp");
+        std::fs::create_dir_all(&p).unwrap();
+        p.push(format!("{}_{name}.csv", std::process::id()));
+        p
+    }
+
+    /// A three-scenario campaign (fault-free, dropping, comma-labelled)
+    /// exercising every row the sink can produce.
+    fn sweep(g: &Arc<Graph>, cfg: ElectionConfig) -> Campaign<'static> {
+        Campaign::new(Election::on(g).config(cfg))
+            .label("clean")
+            .scenario("p=0.3, drops", g, cfg)
+            .faults(FaultPlan::new(2).drop_rate(0.3))
+            .scenario("say \"hi\"", g, cfg)
+            .seeds(0..4)
+    }
+
+    fn outcome_fingerprint(outcome: &CampaignReport) -> (Vec<String>, Vec<String>) {
+        (
+            outcome.trials.iter().map(Trial::csv_row).collect(),
+            outcome
+                .summaries
+                .iter()
+                .map(CampaignSummary::csv_row)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trial_threads_are_bit_identical_to_the_serial_loop() {
+        let g = graph();
+        let cfg = ElectionConfig {
+            max_walk_len: Some(64), // keep faulted give-ups cheap
+            ..ElectionConfig::tuned_for_simulation(64)
+        };
+        let serial = sweep(&g, cfg).run().unwrap();
+        let serial_fp = outcome_fingerprint(&serial);
+        assert_eq!(serial.trials.len(), 12);
+        for workers in [2usize, 3, 8] {
+            let pooled = sweep(&g, cfg).trial_threads(workers).run().unwrap();
+            assert_eq!(
+                outcome_fingerprint(&pooled),
+                serial_fp,
+                "workers = {workers}"
+            );
+            assert!(
+                pooled.engines_built <= workers,
+                "pooling must reuse engines: built {} with {workers} workers",
+                pooled.engines_built
+            );
+        }
+    }
+
+    #[test]
+    fn on_trial_order_is_deterministic_under_threads() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let mut seen = Vec::new();
+        Campaign::new(Election::on(&g).config(cfg))
+            .seeds(0..6)
+            .trial_threads(3)
+            .on_trial(|t| seen.push(t.seed))
+            .run()
+            .unwrap();
+        assert_eq!(seen, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn comma_and_quote_labels_survive_a_csv_round_trip() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let label = "p=0.05, \"dumbbell\"";
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .label(label)
+            .seeds([1])
+            .run()
+            .unwrap();
+        let header_cols = CampaignSummary::csv_header().split(',').count();
+        let srow = outcome.summary().csv_row();
+        let sfields = crate::csv::split_row(&srow).unwrap();
+        assert_eq!(sfields.len(), header_cols, "row: {srow}");
+        assert_eq!(sfields[0], label, "label must round-trip exactly");
+
+        let trow = outcome.trials[0].csv_row();
+        let tfields = crate::csv::split_row(&trow).unwrap();
+        assert_eq!(tfields.len(), Trial::csv_header().split(',').count());
+        assert_eq!(tfields[0], label);
+        assert_eq!(tfields[1], "1");
+    }
+
+    #[test]
+    fn streamed_csv_matches_the_trials() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let path = temp_path("stream");
+        let outcome = Campaign::new(Election::on(&g).config(cfg))
+            .label("with, comma")
+            .seeds(0..3)
+            .stream_csv(&path)
+            .run()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), Trial::csv_header());
+        let rows: Vec<&str> = lines.collect();
+        let expect: Vec<String> = outcome.trials.iter().map(Trial::csv_row).collect();
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_at_the_first_missing_trial() {
+        let g = graph();
+        let cfg = ElectionConfig {
+            max_walk_len: Some(64),
+            ..ElectionConfig::tuned_for_simulation(64)
+        };
+        // Uninterrupted reference.
+        let full_path = temp_path("resume_full");
+        let full = sweep(&g, cfg).stream_csv(&full_path).run().unwrap();
+        let full_text = std::fs::read_to_string(&full_path).unwrap();
+        std::fs::remove_file(&full_path).unwrap();
+
+        // Interrupted after 5 of 12 trials, then resumed (threaded, for
+        // good measure) — the file must come out byte-identical and the
+        // summaries must match the uninterrupted run.
+        let path = temp_path("resume_part");
+        let partial = sweep(&g, cfg)
+            .stream_csv(&path)
+            .budget_trials(5)
+            .run()
+            .unwrap();
+        assert_eq!(partial.trials.len(), 5);
+        assert_eq!(partial.summaries[2].trials, 0, "third scenario untouched");
+        let resumed = sweep(&g, cfg)
+            .stream_csv(&path)
+            .resume(true)
+            .trial_threads(4)
+            .run()
+            .unwrap();
+        let resumed_text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(resumed.resumed_trials, 5);
+        assert_eq!(resumed.trials.len(), 7, "only the missing trials re-ran");
+        assert_eq!(resumed_text, full_text, "file must be byte-identical");
+        let full_rows: Vec<String> = full.summaries.iter().map(CampaignSummary::csv_row).collect();
+        let res_rows: Vec<String> =
+            resumed.summaries.iter().map(CampaignSummary::csv_row).collect();
+        assert_eq!(res_rows, full_rows, "summaries must absorb resumed trials");
+    }
+
+    #[test]
+    fn torn_trailing_line_is_discarded_on_resume() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let path = temp_path("torn");
+        let campaign = || {
+            Campaign::new(Election::on(&g).config(cfg))
+                .label("torn")
+                .seeds(0..3)
+        };
+        let full = campaign().stream_csv(&path).run().unwrap();
+        let full_text = std::fs::read_to_string(&path).unwrap();
+        // Tear the file mid-row: drop the final newline and half the row.
+        let torn = &full_text[..full_text.len() - 9];
+        assert!(!torn.ends_with('\n'));
+        std::fs::write(&path, torn).unwrap();
+        let resumed = campaign().stream_csv(&path).resume(true).run().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(resumed.resumed_trials, 2, "the torn trial must re-run");
+        assert_eq!(text, full_text);
+        assert_eq!(
+            outcome_fingerprint(&resumed).1,
+            outcome_fingerprint(&full).1
+        );
+    }
+
+    #[test]
+    fn foreign_manifest_is_a_resume_mismatch() {
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let path = temp_path("foreign");
+        // A manifest from a different campaign (other label / seeds).
+        Campaign::new(Election::on(&g).config(cfg))
+            .label("other")
+            .seeds(10..13)
+            .stream_csv(&path)
+            .run()
+            .unwrap();
+        let err = Campaign::new(Election::on(&g).config(cfg))
+            .label("mine")
+            .seeds(0..3)
+            .stream_csv(&path)
+            .resume(true)
+            .run()
+            .unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, ConfigError::ResumeMismatch { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn auto_resolves_serial_inside_a_threaded_campaign() {
+        // The campaign hands Exec::Auto a spare-core budget of 1 when
+        // the trial pool owns the cores; on a graph that would
+        // otherwise qualify for sharding, Auto must still pick Serial.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let big = Arc::new(welle_graph::gen::random_regular(10_000, 4, &mut rng).unwrap());
+        assert!(matches!(
+            Exec::Auto.resolve_with(&big, 8),
+            Exec::Threaded(_)
+        ));
+        assert_eq!(Exec::Auto.resolve_with(&big, 1), Exec::Serial);
+        assert_eq!(Exec::Auto.threads_with(&big, 1).unwrap(), None);
+        // Explicit Threaded(k) stays honored even inside a pool.
+        assert_eq!(
+            Exec::Threaded(3).threads_with(&big, 1).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn zero_trial_threads_is_a_config_error() {
+        let g = graph();
+        let err = Campaign::new(Election::on(&g))
+            .trial_threads(0)
+            .seeds(0..1000) // would be expensive if it ran anything
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroThreads);
+    }
+
+    #[test]
+    fn default_trial_threads_starts_serial() {
+        assert!(default_trial_threads() >= 1);
     }
 
     #[test]

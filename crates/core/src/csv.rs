@@ -1,0 +1,131 @@
+//! Minimal RFC 4180 CSV field handling for the report writers.
+//!
+//! Numeric columns never need quoting, but scenario labels are
+//! free-form strings ([`Campaign::label`](crate::Campaign::label)
+//! accepts anything) — a label like `p=0.05, dumbbell` written raw
+//! would silently corrupt the column structure. Every string field in
+//! the CSV writers ([`CampaignSummary::csv_row`](crate::CampaignSummary::csv_row),
+//! [`Trial::csv_row`](crate::Trial::csv_row)) goes through
+//! [`escape`], and the resume-manifest reader parses rows back with
+//! [`split_row`], so arbitrary labels survive a round-trip exactly.
+
+use std::borrow::Cow;
+
+/// Quotes a field per RFC 4180 when it needs it: fields containing a
+/// comma, a double quote, or a line break are wrapped in double quotes
+/// with internal quotes doubled; anything else passes through borrowed
+/// and unchanged.
+pub fn escape(field: &str) -> Cow<'_, str> {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(field)
+    }
+}
+
+/// Splits one CSV row into its fields, undoing [`escape`]: quoted
+/// fields may contain commas and doubled quotes. Returns `None` for a
+/// malformed row (an unterminated quoted field, or garbage after a
+/// closing quote) — the resume reader treats that as a torn partial
+/// write rather than guessing.
+pub fn split_row(row: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = row.chars().peekable();
+    loop {
+        match chars.peek() {
+            Some('"') => {
+                // Quoted field: consume to the closing quote, mapping
+                // doubled quotes to literal ones.
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') => match chars.peek() {
+                            Some('"') => {
+                                chars.next();
+                                field.push('"');
+                            }
+                            _ => break,
+                        },
+                        Some(c) => field.push(c),
+                        None => return None, // unterminated quote
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut field));
+                        return Some(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut field)),
+                    Some(_) => return None, // garbage after closing quote
+                }
+            }
+            _ => {
+                // Unquoted field: up to the next comma or end of row.
+                loop {
+                    match chars.next() {
+                        None => {
+                            fields.push(std::mem::take(&mut field));
+                            return Some(fields);
+                        }
+                        Some(',') => {
+                            fields.push(std::mem::take(&mut field));
+                            break;
+                        }
+                        Some('"') => return None, // quote inside bare field
+                        Some(c) => field.push(c),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through_borrowed() {
+        assert!(matches!(escape("p=0.05"), Cow::Borrowed("p=0.05")));
+        assert!(matches!(escape(""), Cow::Borrowed("")));
+    }
+
+    #[test]
+    fn commas_quotes_and_newlines_are_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn split_undoes_escape_exactly() {
+        for label in ["plain", "p=0.05, dumbbell", "q\"uo\"te", "both, \"x\"", ""] {
+            let row = format!("{},7,true", escape(label));
+            let fields = split_row(&row).unwrap();
+            assert_eq!(fields, vec![label.to_string(), "7".into(), "true".into()]);
+        }
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        assert_eq!(split_row("\"unterminated"), None);
+        assert_eq!(split_row("\"x\"y,z"), None);
+        assert_eq!(split_row("ba\"re"), None);
+    }
+
+    #[test]
+    fn empty_and_trailing_fields() {
+        assert_eq!(split_row("").unwrap(), vec![String::new()]);
+        assert_eq!(split_row("a,,b,").unwrap(), vec!["a", "", "b", ""]);
+    }
+}

@@ -51,9 +51,18 @@ impl Exec {
     /// Resolves `Auto` against a concrete graph and host, yielding
     /// either `Serial` or `Threaded(k ≥ 1)`.
     pub fn resolve(self, graph: &Graph) -> Exec {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        self.resolve_with(graph, cores)
+    }
+
+    /// [`Exec::resolve`] with an explicit spare-core budget instead of
+    /// the host's count. A [`Campaign`](crate::Campaign) whose trial
+    /// scheduler already owns the cores passes a budget of 1 here, so
+    /// `Auto` resolves to `Serial` and threaded engines are never nested
+    /// inside trial workers. Explicit `Threaded(k)` is honored as given.
+    pub fn resolve_with(self, graph: &Graph, cores: usize) -> Exec {
         match self {
             Exec::Auto => {
-                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
                 let n = graph.n();
                 let avg_deg = if n == 0 {
                     0.0
@@ -76,7 +85,18 @@ impl Exec {
     ///
     /// `Threaded(0)` is a [`ConfigError::ZeroThreads`].
     pub(crate) fn threads(self, graph: &Graph) -> Result<Option<usize>, ConfigError> {
-        match self.resolve(graph) {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        self.threads_with(graph, cores)
+    }
+
+    /// [`Exec::threads`] against an explicit core budget (see
+    /// [`Exec::resolve_with`]).
+    pub(crate) fn threads_with(
+        self,
+        graph: &Graph,
+        cores: usize,
+    ) -> Result<Option<usize>, ConfigError> {
+        match self.resolve_with(graph, cores) {
             Exec::Serial => Ok(None),
             Exec::Threaded(0) => Err(ConfigError::ZeroThreads),
             Exec::Threaded(k) => Ok(Some(k)),

@@ -43,6 +43,24 @@ pub enum ConfigError {
     /// attached to (bad probabilities, crash targets out of range, cuts
     /// naming missing edges).
     Fault(welle_congest::FaultError),
+    /// A campaign's streaming results sink
+    /// ([`Campaign::stream_csv`](crate::Campaign::stream_csv)) could not
+    /// be created, written, or flushed.
+    SinkIo {
+        /// The sink path.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A resume manifest ([`Campaign::resume`](crate::Campaign::resume))
+    /// does not belong to the campaign being resumed: the header or a
+    /// completed row disagrees with the expected (scenario, seed) order.
+    ResumeMismatch {
+        /// The manifest path.
+        path: String,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -66,6 +84,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NoSeeds => write!(f, "campaign has no seeds to run"),
             ConfigError::Fault(e) => write!(f, "fault plan rejected: {e}"),
+            ConfigError::SinkIo { path, detail } => {
+                write!(f, "campaign sink {path}: {detail}")
+            }
+            ConfigError::ResumeMismatch { path, detail } => {
+                write!(f, "resume manifest {path} does not match this campaign: {detail}")
+            }
         }
     }
 }

@@ -88,12 +88,18 @@ mod error;
 mod msg;
 mod protocol;
 mod runner;
+mod scheduler;
+mod sink;
 mod state;
 
 pub mod baselines;
 pub mod broadcast;
+pub mod csv;
 
-pub use campaign::{Campaign, CampaignReport, CampaignSummary, Stats, Trial};
+pub use campaign::{
+    default_trial_threads, set_default_trial_threads, Campaign, CampaignReport, CampaignSummary,
+    Stats, Trial,
+};
 pub use config::{ElectionConfig, MsgSizeMode, Params, Phase, SyncMode};
 pub use election::{Election, Exec};
 pub use error::ConfigError;

@@ -75,6 +75,10 @@ impl ElectionReport {
     /// This report as one CSV row (columns per
     /// [`ElectionReport::csv_header`]; `leaders` is the leader *count*,
     /// `leader_id` is empty unless the leader is unique).
+    ///
+    /// Every column is numeric or boolean today; any future free-form
+    /// string column must be routed through [`crate::csv::escape`] like
+    /// the scenario labels in [`Trial::csv_row`](crate::Trial::csv_row).
     pub fn csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -138,6 +142,68 @@ pub(crate) fn run_resolved(
             let outcome = drive(&mut engine, &params, &cfg, obs);
             summarize(&engine, outcome)
         }
+    }
+}
+
+/// A serial engine recycled across trials: the campaign scheduler keeps
+/// one of these per worker, so a thousand-trial sweep builds (at most)
+/// one engine per worker thread and every later trial reuses its arenas
+/// via [`Engine::reset_with`] instead of re-allocating.
+pub(crate) struct PooledEngine {
+    engine: Option<Engine<ElectionNode>>,
+    /// Engines actually constructed (0 or 1) — summed across workers
+    /// into [`CampaignReport::engines_built`](crate::CampaignReport::engines_built).
+    pub(crate) built: usize,
+}
+
+impl PooledEngine {
+    pub(crate) fn new() -> Self {
+        PooledEngine {
+            engine: None,
+            built: 0,
+        }
+    }
+
+    /// Runs one serial trial on the pooled engine, building it on first
+    /// use and resetting it afterwards. Bit-identical to
+    /// [`run_resolved`] with `threads = None` — both construct the same
+    /// initial engine state.
+    pub(crate) fn run(
+        &mut self,
+        graph: &Arc<Graph>,
+        params: &Arc<Params>,
+        seed: u64,
+        faults: Option<&CompiledFaultPlan>,
+        obs: &mut dyn TransmitObserver,
+    ) -> ElectionReport {
+        let engine_cfg = EngineConfig {
+            seed,
+            bandwidth_bits: params.bandwidth_bits,
+        };
+        let make = |_| ElectionNode::new(Arc::clone(params));
+        let engine = match self.engine.as_mut() {
+            Some(e) => {
+                e.reset_with(Arc::clone(graph), engine_cfg, make);
+                e
+            }
+            None => {
+                self.built += 1;
+                self.engine
+                    .insert(Engine::from_fn(Arc::clone(graph), engine_cfg, make))
+            }
+        };
+        if let Some(plan) = faults {
+            engine.set_compiled_faults(plan);
+        }
+        let cfg = params.cfg;
+        let outcome = drive(engine, params, &cfg, obs);
+        summarize(engine, outcome)
+    }
+
+    /// See [`Engine::arena_capacity`].
+    #[cfg(test)]
+    pub(crate) fn arena_capacity(&self) -> usize {
+        self.engine.as_ref().map_or(0, Engine::arena_capacity)
     }
 }
 
@@ -331,6 +397,36 @@ mod tests {
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.leaders, b.leaders);
         assert_eq!(a.decided_round, b.decided_round);
+    }
+
+    #[test]
+    fn pooled_engine_matches_run_resolved_and_keeps_arenas() {
+        let g = expander(96, 3);
+        let cfg = ElectionConfig::tuned_for_simulation(96);
+        let params = Arc::new(Params::try_derive(96, cfg).unwrap());
+        let mut pool = PooledEngine::new();
+        let mut noop = welle_congest::NoopObserver;
+        let mut grown = 0usize;
+        for seed in [1u64, 2, 3, 1] {
+            let pooled = pool.run(&g, &params, seed, None, &mut noop);
+            let fresh = run_resolved(&g, Arc::clone(&params), None, seed, None, &mut noop);
+            assert_eq!(pooled.leaders, fresh.leaders, "seed {seed}");
+            assert_eq!(pooled.messages, fresh.messages, "seed {seed}");
+            assert_eq!(pooled.bits, fresh.bits, "seed {seed}");
+            assert_eq!(pooled.engine_rounds, fresh.engine_rounds, "seed {seed}");
+            assert_eq!(pooled.outcome, fresh.outcome, "seed {seed}");
+            if seed == 1 {
+                grown = pool.arena_capacity();
+            }
+        }
+        assert_eq!(pool.built, 1, "four trials, one engine");
+        assert!(grown > 0);
+        // Reuse never sheds capacity (it may still grow for heavier
+        // seeds; the repeat of seed 1 at the end is fully warm).
+        assert!(
+            pool.arena_capacity() >= grown,
+            "reuse must keep the first trial's arena capacity"
+        );
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The campaign's streaming results sink, doubling as its resume
+//! manifest.
+//!
+//! [`Campaign::stream_csv`](crate::Campaign::stream_csv) flushes one
+//! [`Trial::csv_row`](crate::Trial::csv_row) per completed trial, in
+//! deterministic (scenario, seed) order. Because rows are appended in
+//! that fixed order and flushed eagerly, an interrupted run leaves a
+//! *valid prefix* of the full output — which is all a resume needs: on
+//! [`Campaign::resume`](crate::Campaign::resume) the file is parsed
+//! back, each completed row is checked against the expected trial
+//! order, a torn trailing line is discarded, and the campaign restarts
+//! at the first missing trial. The resumed file is byte-identical to an
+//! uninterrupted run's.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::csv;
+use crate::error::ConfigError;
+
+/// Per-trial statistics recovered from a resume manifest — exactly the
+/// fields campaign summaries aggregate, so resumed trials contribute to
+/// [`CampaignSummary`](crate::CampaignSummary) as if they had just run.
+pub(crate) struct ParsedTrial {
+    pub(crate) leaders: usize,
+    pub(crate) gave_up: usize,
+    pub(crate) messages: u64,
+    pub(crate) rounds: u64,
+}
+
+/// An open, append-positioned trial-row stream.
+pub(crate) struct StreamSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl StreamSink {
+    fn io_err(path: &Path, e: std::io::Error) -> ConfigError {
+        ConfigError::SinkIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// Creates (truncating) the sink file, creating parent directories
+    /// as needed, and writes the header row.
+    pub(crate) fn create(path: &Path, header: &str) -> Result<Self, ConfigError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| Self::io_err(path, e))?;
+            }
+        }
+        let file = File::create(path).map_err(|e| Self::io_err(path, e))?;
+        let mut sink = StreamSink {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+        };
+        sink.write_row(header)?;
+        Ok(sink)
+    }
+
+    /// Opens `path` as a resume manifest: validates the header and every
+    /// completed row against `expected` (the campaign's full trial order
+    /// as `(scenario label, seed)`), drops a torn trailing line, rewrites
+    /// the valid prefix, and returns the append-positioned sink together
+    /// with the recovered trials. A missing file resumes as a fresh run.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ResumeMismatch`] when the file belongs to a
+    /// different campaign (header or any completed row disagrees with
+    /// `expected`); [`ConfigError::SinkIo`] for I/O failures.
+    pub(crate) fn resume(
+        path: &Path,
+        header: &str,
+        expected: &[(&str, u64)],
+    ) -> Result<(Self, Vec<ParsedTrial>), ConfigError> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Self::create(path, header)?, Vec::new()));
+            }
+            Err(e) => return Err(Self::io_err(path, e)),
+        };
+        let mismatch = |detail: String| ConfigError::ResumeMismatch {
+            path: path.display().to_string(),
+            detail,
+        };
+
+        let mut lines = text.split_inclusive('\n').peekable();
+        match lines.next() {
+            // A torn (or absent) header line carries no completed work.
+            None => return Ok((Self::create(path, header)?, Vec::new())),
+            Some(first) => match first.strip_suffix('\n') {
+                None => return Ok((Self::create(path, header)?, Vec::new())),
+                Some(h) if h.trim_end_matches('\r') != header => {
+                    return Err(mismatch(format!(
+                        "header is {h:?}, this campaign writes {header:?}"
+                    )));
+                }
+                Some(_) => {}
+            },
+        }
+
+        let header_cols: Vec<&str> = header.split(',').collect();
+        let col = |name: &str| -> usize {
+            header_cols
+                .iter()
+                .position(|c| *c == name)
+                .expect("trial header names every summary column")
+        };
+        let (c_leaders, c_gave_up, c_messages, c_rounds) = (
+            col("leaders"),
+            col("gave_up"),
+            col("messages"),
+            col("engine_rounds"),
+        );
+
+        let mut parsed = Vec::new();
+        let mut kept = String::with_capacity(text.len());
+        kept.push_str(header);
+        kept.push('\n');
+        for (i, line) in lines.enumerate() {
+            let Some(row) = line.strip_suffix('\n') else {
+                break; // torn trailing line: the trial never completed
+            };
+            let row = row.trim_end_matches('\r');
+            let fields = csv::split_row(row)
+                .filter(|f| f.len() == header_cols.len())
+                .ok_or_else(|| mismatch(format!("row {} is not a complete trial row", i + 1)))?;
+            let Some(&(label, seed)) = expected.get(i) else {
+                return Err(mismatch(format!(
+                    "{} completed rows but the campaign only has {} trials",
+                    i + 1,
+                    expected.len()
+                )));
+            };
+            if fields[0] != label || fields[1].parse::<u64>() != Ok(seed) {
+                return Err(mismatch(format!(
+                    "row {} is ({:?}, {}), expected ({label:?}, {seed})",
+                    i + 1,
+                    fields[0],
+                    fields[1],
+                )));
+            }
+            let num = |c: usize| -> Result<u64, ConfigError> {
+                fields[c]
+                    .parse::<u64>()
+                    .map_err(|_| mismatch(format!("row {}: bad {} value", i + 1, header_cols[c])))
+            };
+            parsed.push(ParsedTrial {
+                leaders: num(c_leaders)? as usize,
+                gave_up: num(c_gave_up)? as usize,
+                messages: num(c_messages)?,
+                rounds: num(c_rounds)?,
+            });
+            kept.push_str(row);
+            kept.push('\n');
+        }
+
+        // Rewrite the valid prefix (dropping any torn tail) and leave
+        // the file open for appending the remaining trials.
+        let file = File::create(path).map_err(|e| Self::io_err(path, e))?;
+        let mut out = BufWriter::new(file);
+        out.write_all(kept.as_bytes())
+            .and_then(|_| out.flush())
+            .map_err(|e| Self::io_err(path, e))?;
+        Ok((
+            StreamSink {
+                out,
+                path: path.to_path_buf(),
+            },
+            parsed,
+        ))
+    }
+
+    /// Appends one row and flushes it — each completed trial hits the
+    /// disk before the next one is reported, which is the valid-prefix
+    /// guarantee the resume path relies on.
+    pub(crate) fn write_row(&mut self, row: &str) -> Result<(), ConfigError> {
+        writeln!(self.out, "{row}")
+            .and_then(|_| self.out.flush())
+            .map_err(|e| Self::io_err(&self.path, e))
+    }
+}

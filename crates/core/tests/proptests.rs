@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::Payload;
 use welle_core::{
-    Election, ElectionConfig, ElectionMsg, ElectionReport, Exec, FaultPlan, FwdItem,
-    MsgSizeMode, Params, RevItem,
+    Campaign, CampaignReport, CampaignSummary, Election, ElectionConfig, ElectionMsg,
+    ElectionReport, Exec, FaultPlan, FwdItem, MsgSizeMode, Params, RevItem, Trial,
 };
 use welle_graph::GraphBuilder;
 
@@ -178,6 +178,48 @@ proptest! {
             .run()
             .unwrap();
         prop_assert!(reports_identical(&serial, &par));
+    }
+
+    #[test]
+    fn campaigns_are_byte_identical_at_any_worker_count(
+        n in 24usize..48,
+        extra in 8usize..48,
+        seed in any::<u64>(),
+        k in 3usize..7,
+        drop_pm in 50u32..300,
+    ) {
+        // The trial scheduler reassembles completions into the serial
+        // (scenario, seed) order, so the full observable outcome —
+        // per-trial CSV rows and per-scenario summary rows, across a
+        // fault-free and a message-dropping scenario — must come out
+        // byte-identical at 1, 2, and k worker threads.
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64);
+        let run = |workers: usize| -> CampaignReport {
+            Campaign::new(Election::on(&g).config(cfg))
+                .label("clean")
+                .scenario("dropping, faulted", &g, cfg)
+                .faults(FaultPlan::new(seed ^ 0xBAD).drop_rate(drop_pm as f64 / 1000.0))
+                .seeds(0..3)
+                .trial_threads(workers)
+                .run()
+                .unwrap()
+        };
+        let fingerprint = |o: &CampaignReport| -> (Vec<String>, Vec<String>) {
+            (
+                o.trials.iter().map(Trial::csv_row).collect(),
+                o.summaries.iter().map(CampaignSummary::csv_row).collect(),
+            )
+        };
+        let serial = run(1);
+        prop_assert_eq!(serial.trials.len(), 6);
+        let expect = fingerprint(&serial);
+        for workers in [2usize, k] {
+            let pooled = run(workers);
+            prop_assert_eq!(fingerprint(&pooled), expect.clone(), "workers = {}", workers);
+            prop_assert!(pooled.engines_built <= workers);
+        }
     }
 
     #[test]

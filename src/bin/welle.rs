@@ -1,5 +1,6 @@
 //! `welle` command-line runner: elect a leader on a generated topology
-//! and print the report, with optional baselines and explicit election.
+//! and print the report, with optional baselines, fault sweeps, and
+//! explicit election.
 //!
 //! ```sh
 //! cargo run --release --bin welle -- expander 512 --seeds 5
@@ -7,8 +8,12 @@
 //! cargo run --release --bin welle -- ring 64 --baseline hs
 //! cargo run --release --bin welle -- clique 128 --explicit
 //! cargo run --release --bin welle -- lb 500 --eps 0.3
+//! # thousands of elections in flight, streamed and resumable:
+//! cargo run --release --bin welle -- expander 256 --seeds 50 \
+//!     --drop-sweep 0,0.05,0.1,0.2 --trial-threads 4 --out sweep.csv
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -16,7 +21,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
 use welle::core::broadcast::run_explicit_election;
 use welle::core::{
-    Campaign, Election, ElectionConfig, ElectionReport, Exec, FaultPlan, MsgSizeMode, SyncMode,
+    Campaign, Election, ElectionConfig, Exec, FaultPlan, MsgSizeMode, SyncMode, Trial,
 };
 use welle::graph::{gen, Graph};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
@@ -33,6 +38,11 @@ struct Args {
     explicit: bool,
     csv: bool,
     threads: Option<usize>,
+    trial_threads: Option<usize>,
+    out: Option<PathBuf>,
+    resume: bool,
+    max_trials: Option<usize>,
+    drop_sweep: Option<Vec<f64>>,
     baseline: Option<String>,
     drop_rate: Option<f64>,
     crash: Option<f64>,
@@ -44,21 +54,33 @@ fn usage() -> &'static str {
     "usage: welle <family> <n> [options]\n\
      families: expander | hypercube | clique | torus | ring | gnp | lb\n\
      options:\n\
-       --seed S        first seed (default 1)\n\
-       --seeds K       number of seeded runs (default 1)\n\
-       --eps E         epsilon for the lb family (default 0.3)\n\
-       --fixed-t       paper-faithful fixed-T schedule (default adaptive)\n\
-       --large         O(log^3 n) messages (default CONGEST)\n\
-       --cap L         walk-length cap\n\
-       --threads K     force the sharded executor with K workers\n\
-                       (default: auto — serial unless large, dense, multicore)\n\
-       --csv           per-run CSV rows instead of human-readable lines\n\
-       --explicit      run explicit election (adds push-pull broadcast)\n\
-       --baseline B    also run a baseline: flood | hs | known-tmix\n\
-       --drop-rate P   lose each message in transit with probability P\n\
-       --crash F       crash-stop a random fraction F of nodes\n\
-       --crash-at R    round at which --crash strikes (default 1)\n\
-       --fault-seed S  seed of the fault schedule (default: --seed)"
+       --seed S          first seed (default 1)\n\
+       --seeds K         number of seeded runs (default 1)\n\
+       --eps E           epsilon for the lb family (default 0.3)\n\
+       --fixed-t         paper-faithful fixed-T schedule (default adaptive)\n\
+       --large           O(log^3 n) messages (default CONGEST)\n\
+       --cap L           walk-length cap\n\
+       --threads K       force the sharded executor with K workers\n\
+                         (default: auto — serial unless large, dense, multicore)\n\
+       --trial-threads K run trials on K pooled worker threads; output is\n\
+                         bit-identical to the serial loop at any K\n\
+       --out FILE        stream per-trial CSV rows to FILE (flushed per\n\
+                         trial; doubles as the --resume manifest)\n\
+       --resume          with --out: skip trials already completed in FILE\n\
+                         and restart at the first missing one\n\
+       --max-trials N    stop after the first N trials (deterministic cut;\n\
+                         finish later with --resume)\n\
+       --drop-sweep P,.. sweep message drop rates: one scenario per rate\n\
+                         (0 = fault-free control)\n\
+       --csv             per-trial CSV rows on stdout instead of\n\
+                         human-readable lines\n\
+       --explicit        run explicit election (adds push-pull broadcast)\n\
+       --baseline B      also run a baseline: flood | hs | known-tmix\n\
+                         (with --csv its lines go to stderr)\n\
+       --drop-rate P     lose each message in transit with probability P\n\
+       --crash F         crash-stop a random fraction F of nodes\n\
+       --crash-at R      round at which --crash strikes (default 1)\n\
+       --fault-seed S    seed of the fault schedule (default: --seed)"
 }
 
 fn parse() -> Result<Args, String> {
@@ -78,6 +100,11 @@ fn parse() -> Result<Args, String> {
         explicit: false,
         csv: false,
         threads: None,
+        trial_threads: None,
+        out: None,
+        resume: false,
+        max_trials: None,
+        drop_sweep: None,
         baseline: None,
         drop_rate: None,
         crash: None,
@@ -115,6 +142,41 @@ fn parse() -> Result<Args, String> {
                         .parse()
                         .map_err(|_| "bad threads")?,
                 );
+            }
+            "--trial-threads" => {
+                i += 1;
+                args.trial_threads = Some(
+                    argv.get(i)
+                        .ok_or("--trial-threads needs a value")?
+                        .parse()
+                        .map_err(|_| "bad trial threads")?,
+                );
+            }
+            "--out" => {
+                i += 1;
+                args.out = Some(PathBuf::from(argv.get(i).ok_or("--out needs a value")?));
+            }
+            "--max-trials" => {
+                i += 1;
+                args.max_trials = Some(
+                    argv.get(i)
+                        .ok_or("--max-trials needs a value")?
+                        .parse()
+                        .map_err(|_| "bad max trials")?,
+                );
+            }
+            "--drop-sweep" => {
+                i += 1;
+                let list = argv.get(i).ok_or("--drop-sweep needs a value")?;
+                let rates = list
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("bad drop-sweep list: {list}"))?;
+                if rates.is_empty() {
+                    return Err("--drop-sweep needs at least one rate".to_string());
+                }
+                args.drop_sweep = Some(rates);
             }
             "--drop-rate" => {
                 i += 1;
@@ -156,6 +218,7 @@ fn parse() -> Result<Args, String> {
             "--large" => args.large = true,
             "--csv" => args.csv = true,
             "--explicit" => args.explicit = true,
+            "--resume" => args.resume = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
         i += 1;
@@ -166,10 +229,32 @@ fn parse() -> Result<Args, String> {
     if args.explicit && args.threads.is_some() {
         return Err("--threads is not supported with --explicit".to_string());
     }
+    if args.explicit
+        && (args.trial_threads.is_some()
+            || args.out.is_some()
+            || args.resume
+            || args.max_trials.is_some()
+            || args.drop_sweep.is_some())
+    {
+        return Err(
+            "campaign options (--trial-threads/--out/--resume/--max-trials/--drop-sweep) \
+             are not supported with --explicit"
+                .to_string(),
+        );
+    }
     if args.explicit && (args.drop_rate.is_some() || args.crash.is_some()) {
         return Err("fault injection is not supported with --explicit".to_string());
     }
-    if args.baseline.is_some() && (args.drop_rate.is_some() || args.crash.is_some()) {
+    if args.drop_sweep.is_some() && (args.drop_rate.is_some() || args.crash.is_some()) {
+        return Err(
+            "--drop-sweep already defines the fault schedule; it cannot be combined \
+             with --drop-rate or --crash (include 0 in the sweep for a fault-free control)"
+                .to_string(),
+        );
+    }
+    if args.baseline.is_some()
+        && (args.drop_rate.is_some() || args.crash.is_some() || args.drop_sweep.is_some())
+    {
         return Err(
             "fault injection is not supported with --baseline (the baseline would run \
              fault-free, making the comparison apples-to-oranges)"
@@ -179,11 +264,17 @@ fn parse() -> Result<Args, String> {
     if args.crash.is_none() && args.crash_at.is_some() {
         return Err("--crash-at has no effect without --crash".to_string());
     }
-    if args.drop_rate.is_none() && args.crash.is_none() && args.fault_seed.is_some() {
-        return Err("--fault-seed has no effect without --drop-rate or --crash".to_string());
+    if args.drop_rate.is_none()
+        && args.crash.is_none()
+        && args.drop_sweep.is_none()
+        && args.fault_seed.is_some()
+    {
+        return Err(
+            "--fault-seed has no effect without --drop-rate, --crash, or --drop-sweep".to_string(),
+        );
     }
-    if args.baseline.is_some() && args.csv {
-        return Err("--csv is not supported with --baseline (the baseline lines would corrupt the CSV stream)".to_string());
+    if args.resume && args.out.is_none() {
+        return Err("--resume needs --out (the CSV file is the resume manifest)".to_string());
     }
     Ok(args)
 }
@@ -234,7 +325,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("graph: {} n={} m={}", args.family, graph.n(), graph.m());
+    // Informational lines move to stderr whenever stdout is a CSV
+    // stream (`--csv`) that an extra line would corrupt.
+    if args.csv {
+        eprintln!("graph: {} n={} m={}", args.family, graph.n(), graph.m());
+    } else {
+        println!("graph: {} n={} m={}", args.family, graph.n(), graph.m());
+    }
 
     let mut cfg = ElectionConfig::tuned_for_simulation(graph.n());
     if args.fixed_t {
@@ -260,8 +357,6 @@ fn main() -> ExitCode {
         if let Some(frac) = args.crash {
             plan = plan.crash_fraction(frac, args.crash_at.unwrap_or(1));
         }
-        // Informational, so it goes to stderr: stdout may be a CSV
-        // stream (`--csv`) that an extra line would corrupt.
         eprintln!(
             "faults: drop_rate={} crash_fraction={} crash_at={}",
             args.drop_rate.unwrap_or(0.0),
@@ -290,30 +385,64 @@ fn main() -> ExitCode {
         }
     } else {
         if args.csv {
-            println!("seed,{}", ElectionReport::csv_header());
+            println!("{}", Trial::csv_header());
         }
-        // `on_trial` streams each seed's line as it completes, so long
+        // `on_trial` streams each trial's line as it completes, so long
         // sweeps show progress instead of buffering until the end.
         let csv = args.csv;
+        let multi_scenario = args.drop_sweep.as_ref().is_some_and(|s| s.len() > 1);
+        let have_faults = fault_plan.is_some();
         let mut proto = Election::on(&graph).config(cfg).executor(exec);
         if let Some(plan) = fault_plan {
             proto = proto.faults(plan);
         }
-        let outcome = match Campaign::new(proto)
-            .label(args.family.clone())
-            .seeds(args.seed..args.seed + args.seeds as u64)
+        let mut campaign = Campaign::new(proto).label(args.family.clone());
+        // Fault-free scenarios drive the exit code; sweep scenarios with
+        // drops are *expected* to lose some elections, so they only report.
+        let mut strict_labels: Vec<String> = Vec::new();
+        if let Some(rates) = &args.drop_sweep {
+            for &p in rates {
+                let label = format!("p={p}, {}", args.family);
+                campaign = campaign.scenario(&label, &graph, cfg);
+                if p > 0.0 {
+                    campaign = campaign
+                        .faults(FaultPlan::new(args.fault_seed.unwrap_or(args.seed)).drop_rate(p));
+                } else {
+                    strict_labels.push(label);
+                }
+            }
+            campaign = campaign.without_base();
+        } else {
+            strict_labels.push(args.family.clone());
+        }
+        campaign = campaign.seeds(args.seed..args.seed + args.seeds as u64);
+        if let Some(k) = args.trial_threads {
+            campaign = campaign.trial_threads(k);
+        }
+        if let Some(path) = &args.out {
+            campaign = campaign.stream_csv(path).resume(args.resume);
+        }
+        if let Some(max) = args.max_trials {
+            campaign = campaign.budget_trials(max);
+        }
+        let outcome = match campaign
             .on_trial(|t| {
                 let rep = &t.report;
                 if csv {
-                    println!("{},{}", t.seed, rep.csv_row());
+                    println!("{}", t.csv_row());
                 } else {
+                    let scenario = if multi_scenario {
+                        format!("[{}] ", t.scenario)
+                    } else {
+                        String::new()
+                    };
                     let faults = if rep.dropped_messages > 0 || rep.crashed > 0 {
                         format!(" dropped={} crashed={}", rep.dropped_messages, rep.crashed)
                     } else {
                         String::new()
                     };
                     println!(
-                        "seed {}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
+                        "{scenario}seed {}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
                          rounds={} t_u={} epochs={} gave_up={}{faults}",
                         t.seed,
                         rep.leaders,
@@ -336,27 +465,62 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let summary = outcome.summary();
-        if args.seeds > 1 && !args.csv {
-            println!("{summary}");
+        if outcome.resumed_trials > 0 {
+            let path = args.out.as_deref().map(|p| p.display().to_string());
+            eprintln!(
+                "resumed {} completed trials from {}",
+                outcome.resumed_trials,
+                path.unwrap_or_default()
+            );
         }
-        ok &= summary.successes == summary.trials;
+        let finished: usize = outcome.summaries.iter().map(|s| s.trials).sum();
+        let planned = outcome.summaries.len() * args.seeds;
+        if finished < planned {
+            eprintln!(
+                "stopped after {finished} of {planned} trials (--max-trials); \
+                 rerun with --resume to finish"
+            );
+        }
+        let show_summaries = args.seeds > 1 || outcome.summaries.len() > 1;
+        for summary in &outcome.summaries {
+            if show_summaries {
+                if args.csv {
+                    eprintln!("{summary}");
+                } else {
+                    println!("{summary}");
+                }
+            }
+            // Historical contract for explicit --drop-rate/--crash runs:
+            // lost elections still surface in the exit code.
+            if have_faults || strict_labels.iter().any(|l| l == &summary.scenario) {
+                ok &= summary.successes == summary.trials;
+            }
+        }
     }
 
+    // Baseline comparison lines: stdout normally, stderr under --csv so
+    // the trial stream on stdout stays machine-readable.
+    let bprint = |line: String| {
+        if args.csv {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     match args.baseline.as_deref() {
         Some("flood") => {
             let b = run_flood_max(&graph, args.seed);
-            println!(
+            bprint(format!(
                 "baseline flood-max: leaders={:?} msgs={} rounds={}",
                 b.leaders, b.messages, b.rounds
-            );
+            ));
         }
         Some("hs") => {
             let b = run_hirschberg_sinclair(&graph, args.seed);
-            println!(
+            bprint(format!(
                 "baseline hirschberg-sinclair: leaders={:?} msgs={} rounds={}",
                 b.leaders, b.messages, b.rounds
-            );
+            ));
         }
         Some("known-tmix") => {
             match mixing_time(
@@ -368,10 +532,10 @@ fn main() -> ExitCode {
             ) {
                 Some(tmix) => {
                     let b = run_known_tmix_election(&graph, &cfg, tmix, 2, args.seed);
-                    println!(
+                    bprint(format!(
                         "baseline known-tmix (t_mix={tmix}): leaders={:?} msgs={}",
                         b.leaders, b.messages
-                    );
+                    ));
                 }
                 None => eprintln!("baseline known-tmix: graph did not mix within horizon"),
             }

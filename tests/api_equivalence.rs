@@ -151,6 +151,26 @@ fn campaign_trials_match_individual_runs() {
 }
 
 #[test]
+fn threaded_campaigns_match_individual_runs() {
+    // The trial scheduler is one more way of driving the same election:
+    // every pooled trial must be bit-identical to its solo run, and the
+    // workers must share engines instead of building one per trial.
+    let g = expander(96, 9);
+    let cfg = ElectionConfig::tuned_for_simulation(96);
+    let outcome = Campaign::new(Election::on(&g).config(cfg))
+        .seeds(20..25)
+        .trial_threads(3)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.trials.len(), 5);
+    assert!(outcome.engines_built <= 3, "built {}", outcome.engines_built);
+    for t in &outcome.trials {
+        let solo = Election::on(&g).config(cfg).seed(t.seed).run().unwrap();
+        assert_identical(&solo, &t.report, &format!("pooled campaign seed {}", t.seed));
+    }
+}
+
+#[test]
 fn zero_fault_plan_is_indistinguishable_from_no_plan() {
     let g = expander(96, 12);
     for (name, cfg) in configs() {
@@ -202,12 +222,19 @@ fn faulted_elections_are_bit_identical_across_executors() {
             .unwrap();
         assert_identical(&serial, &par, &format!("faulted threaded({threads})"));
     }
-    // Campaign scenarios carry plans too, through the same code path.
-    let outcome = Campaign::new(Election::on(&g).config(cfg).faults(plan))
+    // Campaign scenarios carry plans too, through the same code path —
+    // serially and on the pooled trial scheduler.
+    let outcome = Campaign::new(Election::on(&g).config(cfg).faults(plan.clone()))
         .seeds([2])
         .run()
         .unwrap();
     assert_identical(&serial, &outcome.trials[0].report, "faulted campaign");
+    let pooled = Campaign::new(Election::on(&g).config(cfg).faults(plan))
+        .seeds([2])
+        .trial_threads(2)
+        .run()
+        .unwrap();
+    assert_identical(&serial, &pooled.trials[0].report, "faulted pooled campaign");
 }
 
 #[test]

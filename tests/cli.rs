@@ -1,0 +1,125 @@
+//! End-to-end tests of the `welle` binary: stdout purity under `--csv`,
+//! flag validation, and the interrupted-sweep → `--resume` round-trip
+//! on the threaded trial scheduler. The resume test is the CI fence for
+//! the campaign scheduler: it runs a multi-scenario campaign with
+//! `--trial-threads 4` and verifies the manifest round-trips
+//! byte-identically.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use welle::core::{csv, Trial};
+
+fn welle(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_welle"))
+        .args(args)
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("spawn the welle binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+#[test]
+fn csv_stdout_stays_machine_readable_even_with_a_baseline() {
+    let out = welle(&[
+        "ring", "16", "--seeds", "2", "--cap", "32", "--csv", "--baseline", "flood",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+
+    // stdout is nothing but the trial CSV: header, then uniform rows.
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next().unwrap(), Trial::csv_header());
+    let cols = Trial::csv_header().split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        let fields = csv::split_row(line).unwrap_or_else(|| panic!("bad CSV row: {line}"));
+        assert_eq!(fields.len(), cols, "row: {line}");
+        assert_eq!(fields[0], "ring");
+        rows += 1;
+    }
+    assert_eq!(rows, 2, "one row per seed");
+
+    // Everything informational — graph line, summary, baseline — went
+    // to stderr instead of corrupting the stream.
+    assert!(stderr.contains("graph: ring"), "{stderr}");
+    assert!(stderr.contains("baseline flood-max"), "{stderr}");
+}
+
+#[test]
+fn incompatible_flags_are_rejected_up_front() {
+    let explicit_csv = welle(&["ring", "16", "--explicit", "--csv"]);
+    assert!(!explicit_csv.status.success());
+    assert!(String::from_utf8(explicit_csv.stderr)
+        .unwrap()
+        .contains("--csv is not supported with --explicit"));
+
+    let lone_resume = welle(&["ring", "16", "--resume"]);
+    assert!(!lone_resume.status.success());
+    assert!(String::from_utf8(lone_resume.stderr)
+        .unwrap()
+        .contains("--resume needs --out"));
+
+    let sweep_and_rate = welle(&["ring", "16", "--drop-sweep", "0,0.1", "--drop-rate", "0.1"]);
+    assert!(!sweep_and_rate.status.success());
+}
+
+#[test]
+fn interrupted_sweep_resumes_byte_identically_under_trial_threads() {
+    let sweep = |out_file: &str, extra: &[&str]| {
+        let mut args = vec![
+            "expander",
+            "48",
+            "--seeds",
+            "3",
+            "--cap",
+            "48",
+            "--drop-sweep",
+            "0,0.3",
+            "--trial-threads",
+            "4",
+            "--out",
+            out_file,
+        ];
+        args.extend_from_slice(extra);
+        welle(&args)
+    };
+
+    // Uninterrupted reference run.
+    let full = sweep("cli_full.csv", &[]);
+    assert!(full.status.success(), "{full:?}");
+    let reference = std::fs::read_to_string(tmp("cli_full.csv")).unwrap();
+
+    // Interrupt after 4 of 6 trials, then resume to completion.
+    let cut = sweep("cli_cut.csv", &["--max-trials", "4"]);
+    assert!(cut.status.success(), "{cut:?}");
+    assert!(String::from_utf8(cut.stderr)
+        .unwrap()
+        .contains("stopped after 4 of 6 trials"));
+    let resumed = sweep("cli_cut.csv", &["--resume"]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert!(String::from_utf8(resumed.stderr)
+        .unwrap()
+        .contains("resumed 4 completed trials"));
+
+    let recovered = std::fs::read_to_string(tmp("cli_cut.csv")).unwrap();
+    assert_eq!(
+        recovered, reference,
+        "the resumed manifest must be byte-identical to the uninterrupted run"
+    );
+
+    // The sweep labels carry commas ("p=0, expander"); they must
+    // round-trip intact through the quoted CSV.
+    let mut lines = reference.lines();
+    assert_eq!(lines.next().unwrap(), Trial::csv_header());
+    let labels: Vec<String> = lines
+        .map(|l| csv::split_row(l).expect("valid row")[0].clone())
+        .collect();
+    assert_eq!(labels.len(), 6);
+    assert!(labels[..3].iter().all(|l| l == "p=0, expander"), "{labels:?}");
+    assert!(labels[3..].iter().all(|l| l == "p=0.3, expander"), "{labels:?}");
+}

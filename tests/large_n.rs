@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
-use welle::core::{Election, ElectionConfig, Exec};
+use welle::core::{Campaign, CampaignSummary, Election, ElectionConfig, Exec, FaultPlan, Trial};
 use welle::graph::gen::{self, CliqueOfCliques, CliqueOfCliquesParams};
 
 const N: usize = 100_000;
@@ -84,6 +84,56 @@ fn threaded_election_matches_serial_at_scale() {
     assert_eq!(serial.engine_rounds, threaded.engine_rounds);
     assert_eq!(serial.decided_round, threaded.decided_round);
     assert!(serial.is_success());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs the release profile (≈200 trials × 3 runs)")]
+fn drop_rate_sweep_of_200_trials_is_bit_identical_at_any_thread_count() {
+    // The ISSUE acceptance sweep: 4 drop rates × 50 seeds = 200 trials,
+    // run serially and on 2- and 4-worker trial pools. Every per-trial
+    // CSV row and every summary row must come out byte-identical, and
+    // the pools must reuse engines (at most one construction per
+    // worker) instead of building one per trial.
+    let mut rng = StdRng::seed_from_u64(21);
+    let g = Arc::new(gen::random_regular(128, 4, &mut rng).unwrap());
+    let cfg = ElectionConfig {
+        max_walk_len: Some(64), // keep heavily-faulted give-ups cheap
+        ..ElectionConfig::tuned_for_simulation(128)
+    };
+    let sweep = |workers: usize| {
+        let mut campaign = Campaign::new(Election::on(&g).config(cfg));
+        for p in [0.0f64, 0.05, 0.1, 0.2] {
+            campaign = campaign.scenario(format!("p={p}, expander"), &g, cfg);
+            if p > 0.0 {
+                campaign = campaign.faults(FaultPlan::new(9).drop_rate(p));
+            }
+        }
+        campaign
+            .without_base()
+            .seeds(0..50)
+            .trial_threads(workers)
+            .run()
+            .unwrap()
+    };
+    let serial = sweep(1);
+    assert_eq!(serial.trials.len(), 200);
+    assert_eq!(serial.engines_built, 1, "one pooled engine serves all 200");
+    let rows = |o: &welle::core::CampaignReport| -> (Vec<String>, Vec<String>) {
+        (
+            o.trials.iter().map(Trial::csv_row).collect(),
+            o.summaries.iter().map(CampaignSummary::csv_row).collect(),
+        )
+    };
+    let expect = rows(&serial);
+    for workers in [2usize, 4] {
+        let pooled = sweep(workers);
+        assert_eq!(rows(&pooled), expect, "workers = {workers}");
+        assert!(
+            pooled.engines_built <= workers,
+            "{} engines for {workers} workers",
+            pooled.engines_built
+        );
+    }
 }
 
 #[test]
