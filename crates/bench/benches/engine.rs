@@ -1,5 +1,7 @@
 //! Engine micro-benchmarks: round throughput of the CONGEST simulator
-//! under a dense flood workload, serial vs threaded.
+//! under a dense flood workload — serial vs threaded, plus the async
+//! executor at zero latency (the cost of the tick bookkeeping alone)
+//! and under a sampled model (the cost of the event heap).
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -7,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::testing::FloodMax;
-use welle_congest::{Engine, EngineConfig, ThreadedEngine};
+use welle_congest::{AsyncEngine, Engine, EngineConfig, LatencyModel, ThreadedEngine};
 use welle_graph::gen;
 
 fn bench_flood(c: &mut Criterion) {
@@ -29,6 +31,30 @@ fn bench_flood(c: &mut Criterion) {
                 let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
                 let mut e =
                     ThreadedEngine::new(Arc::clone(&g), nodes, EngineConfig::default(), 4);
+                black_box(e.run(100_000));
+                black_box(e.metrics().messages)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async_zero", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = AsyncEngine::from_fn(
+                    Arc::clone(&g),
+                    EngineConfig::default(),
+                    LatencyModel::zero(),
+                    |i| FloodMax::new(i as u64),
+                );
+                black_box(e.run(100_000));
+                black_box(e.metrics().messages)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async_lognormal", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = AsyncEngine::from_fn(
+                    Arc::clone(&g),
+                    EngineConfig::default(),
+                    LatencyModel::log_normal(0.3, 0.6).seed(7),
+                    |i| FloodMax::new(i as u64),
+                );
                 black_box(e.run(100_000));
                 black_box(e.metrics().messages)
             })

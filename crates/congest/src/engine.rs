@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use welle_graph::{Graph, NodeId, Port};
 
 use crate::faults::{CompiledFaultPlan, CompiledFaults, FaultError, FaultPlan, FaultState};
+use crate::latency::{LatencyState, TICKS_PER_ROUND};
 use crate::message::Payload;
 use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
@@ -432,52 +433,7 @@ impl<P: Protocol> Engine<P> {
 
     /// Monomorphic single-round step (see [`Engine::run_core`] for why).
     fn step_core<O: TransmitObserver + ?Sized>(&mut self, obs: &mut O) {
-        let mut any_activity = false;
-        if !self.started {
-            self.started = true;
-            for i in 0..self.nodes.len() {
-                let mut empty = Vec::new();
-                self.run_callback(i, &mut empty, CallKind::Start);
-            }
-            any_activity = true;
-        } else {
-            let mut active: Vec<u32> = std::mem::take(&mut self.inbox_active);
-            // `inbox_flag` doubles as the membership set: delivery already
-            // guards `inbox_active` with it, so guarding due wake-ups the
-            // same way keeps `active` duplicate-free without a dedup pass.
-            while let Some(&Reverse((r, node))) = self.wakeups.peek() {
-                if r <= self.round {
-                    self.wakeups.pop();
-                    if !self.inbox_flag[node as usize] {
-                        self.inbox_flag[node as usize] = true;
-                        active.push(node);
-                    }
-                } else {
-                    break;
-                }
-            }
-            // Deterministic node order: a linear flag scan when dense
-            // (cheaper and cache-friendly), a sort when sparse.
-            if active.len() >= self.nodes.len() / 8 {
-                active.clear();
-                for (i, flag) in self.inbox_flag.iter().enumerate() {
-                    if *flag {
-                        active.push(i as u32);
-                    }
-                }
-            } else {
-                active.sort_unstable();
-            }
-            for &node in &active {
-                let i = node as usize;
-                self.inbox_flag[i] = false;
-                let mut inbox = std::mem::take(&mut self.inboxes[i]);
-                self.run_callback(i, &mut inbox, CallKind::Round);
-                inbox.clear();
-                self.inboxes[i] = inbox; // recycle the allocation
-                any_activity = true;
-            }
-        }
+        let any_activity = self.protocol_phase();
 
         // Transmission phase: one message per active directed edge.
         // Backlogged edges deliver their queue head first; then the
@@ -537,6 +493,62 @@ impl<P: Protocol> Engine<P> {
             self.metrics.active_rounds += 1;
         }
         self.round += 1;
+    }
+
+    /// The protocol half of a round — start-up on the first call, then
+    /// inbox/wake-up callbacks in deterministic node order. Returns
+    /// whether any callback ran. Shared verbatim with the async
+    /// executor, which pairs it with its own transmission phase (this is
+    /// what keeps the two engines event-for-event identical on
+    /// zero-latency models).
+    pub(crate) fn protocol_phase(&mut self) -> bool {
+        let mut any_activity = false;
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let mut empty = Vec::new();
+                self.run_callback(i, &mut empty, CallKind::Start);
+            }
+            any_activity = true;
+        } else {
+            let mut active: Vec<u32> = std::mem::take(&mut self.inbox_active);
+            // `inbox_flag` doubles as the membership set: delivery already
+            // guards `inbox_active` with it, so guarding due wake-ups the
+            // same way keeps `active` duplicate-free without a dedup pass.
+            while let Some(&Reverse((r, node))) = self.wakeups.peek() {
+                if r <= self.round {
+                    self.wakeups.pop();
+                    if !self.inbox_flag[node as usize] {
+                        self.inbox_flag[node as usize] = true;
+                        active.push(node);
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Deterministic node order: a linear flag scan when dense
+            // (cheaper and cache-friendly), a sort when sparse.
+            if active.len() >= self.nodes.len() / 8 {
+                active.clear();
+                for (i, flag) in self.inbox_flag.iter().enumerate() {
+                    if *flag {
+                        active.push(i as u32);
+                    }
+                }
+            } else {
+                active.sort_unstable();
+            }
+            for &node in &active {
+                let i = node as usize;
+                self.inbox_flag[i] = false;
+                let mut inbox = std::mem::take(&mut self.inboxes[i]);
+                self.run_callback(i, &mut inbox, CallKind::Round);
+                inbox.clear();
+                self.inboxes[i] = inbox; // recycle the allocation
+                any_activity = true;
+            }
+        }
+        any_activity
     }
 
     /// Broadcasts a control signal to every node (see
@@ -767,6 +779,116 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             self.deliver(dir, msg, obs, sink);
         } else {
             fs.park(self.round + delay as u64, dir as u32, msg);
+        }
+    }
+
+    /// Releases every latency-parked message due by this round's
+    /// boundary, in `(due tick, park order)` order. Arrivals at nodes
+    /// that crashed in the meantime are discarded, exactly as in
+    /// [`Transmitter::release_due`].
+    pub(crate) fn release_latent<O: TransmitObserver + ?Sized>(
+        &mut self,
+        lat: &mut LatencyState<M>,
+        faults: Option<&CompiledFaults>,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        let horizon = self
+            .round
+            .saturating_add(1)
+            .saturating_mul(TICKS_PER_ROUND);
+        while let Some(d) = lat.pop_due(horizon) {
+            if let Some(c) = faults {
+                let dst = self.graph.directed_info(d.dir as usize).dst;
+                if c.is_crashed(dst.index(), self.round) {
+                    self.dropped_msgs += 1;
+                    continue;
+                }
+            }
+            lat.note_delivered(d.due);
+            self.deliver(d.dir as usize, d.msg, obs, sink);
+        }
+    }
+
+    /// [`Transmitter::deliver_head`] with the latency (and optional
+    /// fault) layer applied at the crossing.
+    #[inline]
+    pub(crate) fn deliver_head_latent<O: TransmitObserver + ?Sized>(
+        &mut self,
+        lat: &mut LatencyState<M>,
+        faults: Option<&CompiledFaults>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        self.last_carried[dir] = self.round;
+        self.transit_latent(lat, faults, dir, msg, obs, sink);
+    }
+
+    /// [`Transmitter::offer`] with the latency (and optional fault)
+    /// layer applied at the crossing. Joining the backlog defers both
+    /// decisions to the round the message actually crosses.
+    #[inline]
+    pub(crate) fn offer_latent<O: TransmitObserver + ?Sized>(
+        &mut self,
+        lat: &mut LatencyState<M>,
+        faults: Option<&CompiledFaults>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        if self.last_carried[dir] == self.round {
+            let len = self.queues.push_dir(dir, msg);
+            self.max_backlog_seen = self.max_backlog_seen.max(len + 1);
+        } else {
+            self.last_carried[dir] = self.round;
+            self.transit_latent(lat, faults, dir, msg, obs, sink);
+        }
+    }
+
+    /// One message crossing directed edge `dir` this round, under a
+    /// latency model and (optionally) faults. Fault decisions — cuts,
+    /// crashes, i.i.d. drops — are exactly those of
+    /// [`Transmitter::transit`]; the fault layer's per-edge delay folds
+    /// into the due tick instead of using a second heap. A delivery due
+    /// at or before the next round boundary happens now — with the zero
+    /// model that is *every* unfaulted delivery, which keeps this path
+    /// event-for-event identical to the round engine — and later ones
+    /// park on the tick heap.
+    fn transit_latent<O: TransmitObserver + ?Sized>(
+        &mut self,
+        lat: &mut LatencyState<M>,
+        faults: Option<&CompiledFaults>,
+        dir: usize,
+        msg: M,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        let mut fault_delay = 0u32;
+        if let Some(c) = faults {
+            let info = self.graph.directed_info(dir);
+            if c.edge_cut(info.edge.index(), self.round)
+                || c.is_crashed(info.src.index(), self.round)
+                || c.is_crashed(info.dst.index(), self.round)
+                || c.dropped_in_transit(self.round, dir)
+            {
+                self.dropped_msgs += 1;
+                return;
+            }
+            fault_delay = c.edge_delay(info.edge.index());
+        }
+        let due = lat.crossing_due(self.round, dir as u32, fault_delay);
+        let horizon = self
+            .round
+            .saturating_add(1)
+            .saturating_mul(TICKS_PER_ROUND);
+        if due <= horizon {
+            lat.note_delivered(due);
+            self.deliver(dir, msg, obs, sink);
+        } else {
+            lat.park(due, dir as u32, msg);
         }
     }
 

@@ -13,9 +13,72 @@ use std::sync::Arc;
 use welle_graph::Graph;
 
 use crate::engine::{Engine, RunOutcome};
+use crate::latency::LatencyModel;
 use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
 use crate::protocol::{Protocol, Signal};
 use crate::threaded::ThreadedEngine;
+
+/// Which CONGEST executor drives a run.
+///
+/// The synchronous executors (`Serial`, `Threaded`, and whatever `Auto`
+/// resolves to) are bit-identical on the same `(graph, config, seed)` —
+/// the choice is purely a wall-clock trade-off, with the measured
+/// crossover recorded in `BENCH_NOTES.md`. `Async` changes the *model*:
+/// message latency comes from its [`LatencyModel`] instead of the
+/// constant one-round hop. Under [`LatencyModel::zero`] it rejoins the
+/// synchronous executors bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Exec {
+    /// Pick for me: the serial event-driven engine, unless the network
+    /// is large (`n ≥ 10⁴`) *and* dense enough to keep every shard busy
+    /// (average degree ≥ 3) *and* the host actually has spare cores —
+    /// then the sharded engine with one worker per core (capped at 8).
+    #[default]
+    Auto,
+    /// The serial event-driven [`Engine`]: skips idle nodes, best for
+    /// small or sparse networks (and single-core hosts).
+    Serial,
+    /// The sharded [`ThreadedEngine`] with this many worker threads
+    /// (must be ≥ 1; a 1-worker `ThreadedEngine` runs its rounds inline
+    /// on its inner serial engine).
+    Threaded(usize),
+    /// The event-driven [`AsyncEngine`](crate::AsyncEngine), delivering
+    /// messages under this latency model.
+    Async(LatencyModel),
+}
+
+impl Exec {
+    /// Resolves `Auto` against a concrete graph and host, yielding a
+    /// concrete executor choice (never `Auto`).
+    pub fn resolve(self, graph: &Graph) -> Exec {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        self.resolve_with(graph, cores)
+    }
+
+    /// [`Exec::resolve`] with an explicit spare-core budget instead of
+    /// the host's count. A batch scheduler whose trial workers already
+    /// own the cores passes a budget of 1 here, so `Auto` resolves to
+    /// `Serial` and threaded engines are never nested inside trial
+    /// workers. Explicit choices are honored as given.
+    pub fn resolve_with(self, graph: &Graph, cores: usize) -> Exec {
+        match self {
+            Exec::Auto => {
+                let n = graph.n();
+                let avg_deg = if n == 0 {
+                    0.0
+                } else {
+                    2.0 * graph.m() as f64 / n as f64
+                };
+                if cores >= 2 && n >= 10_000 && avg_deg >= 3.0 {
+                    Exec::Threaded(cores.min(8))
+                } else {
+                    Exec::Serial
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
 
 /// Common interface of the CONGEST executors.
 ///
@@ -37,6 +100,13 @@ pub trait Executor<P: Protocol> {
     /// Messages queued for transmission (current-round sends plus edge
     /// backlog), not yet delivered.
     fn in_flight(&self) -> usize;
+
+    /// Virtual time elapsed, in rounds. For the synchronous executors
+    /// this *is* the round count; the async executor stretches it past
+    /// the round clock when deliveries complete late.
+    fn virtual_time(&self) -> f64 {
+        self.round() as f64
+    }
 
     /// Runs until done/quiescent/limit, notifying `obs` of every
     /// transmission; see [`Engine::run`] for the semantics.

@@ -377,9 +377,11 @@ impl CompiledFaults {
     }
 }
 
-/// SplitMix64-style mix of three words into one uniform word.
+/// SplitMix64-style mix of three words into one uniform word. Shared
+/// with the latency layer, which keys its per-crossing samples the same
+/// way the drop layer keys its coins.
 #[inline]
-fn mix3(seed: u64, round: u64, dir: u64) -> u64 {
+pub(crate) fn mix3(seed: u64, round: u64, dir: u64) -> u64 {
     let mut z = seed
         ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ dir.wrapping_mul(0xD1B5_4A32_D192_ED03);

@@ -19,12 +19,17 @@
 //! cuts/partitions — without giving up replayability (see [`faults`
 //! module docs](FaultPlan)).
 //!
-//! Two executors share these semantics behind the [`Executor`] trait:
+//! Three executors share these semantics behind the [`Executor`] trait:
 //! the event-driven [`Engine`] (skips idle rounds in `O(1)` — essential
-//! for the paper's fixed-`T` schedules) and the sharded multi-threaded
-//! [`ThreadedEngine`]. Executions are bit-identical across the two (and
-//! across thread counts) for protocols honouring the [`Protocol`]
-//! no-op contract, so drivers choose purely on performance.
+//! for the paper's fixed-`T` schedules), the sharded multi-threaded
+//! [`ThreadedEngine`], and the asynchronous [`AsyncEngine`], which
+//! replaces the constant one-round hop with a seeded [`LatencyModel`]
+//! (fixed, uniform, or log-normal per-crossing latency plus per-edge
+//! service-rate queueing). Synchronous executions are bit-identical
+//! across engines and thread counts for protocols honouring the
+//! [`Protocol`] no-op contract, and the async engine rejoins them bit
+//! for bit under [`LatencyModel::zero`] — so drivers choose executors
+//! on performance, and latency models on what they want to study.
 //!
 //! # Example: flooding the maximum id
 //!
@@ -44,9 +49,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod async_engine;
 mod engine;
 mod exec;
 mod faults;
+mod latency;
 mod message;
 mod metrics;
 mod protocol;
@@ -56,9 +63,11 @@ mod trace;
 
 pub mod testing;
 
+pub use async_engine::AsyncEngine;
 pub use engine::{Engine, EngineConfig, RunOutcome};
-pub use exec::Executor;
+pub use exec::{Exec, Executor};
 pub use faults::{CompiledFaultPlan, FaultError, FaultPlan};
+pub use latency::{LatencyDist, LatencyError, LatencyModel};
 pub use message::{bits_for, id_bits, Payload};
 pub use metrics::{Metrics, NoopObserver, RecordingObserver, TransmitEvent, TransmitObserver};
 pub use protocol::{Context, Protocol, Signal};

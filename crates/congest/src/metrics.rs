@@ -6,7 +6,7 @@ use welle_graph::{EdgeId, NodeId, Port};
 ///
 /// "Messages" counts individual CONGEST transmissions (the paper's message
 /// complexity measure); "bits" weights them by [`crate::Payload::bit_size`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Total messages transmitted over edges.
     pub messages: u64,

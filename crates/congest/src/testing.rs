@@ -4,7 +4,24 @@
 
 use welle_graph::Port;
 
+use crate::exec::Exec;
+use crate::latency::LatencyModel;
 use crate::protocol::{Context, Protocol};
+
+/// Every concrete executor choice a cross-executor equivalence check
+/// should cover, labelled for assertion messages: the serial engine
+/// (the oracle), the sharded engine at one and several workers, and
+/// the async engine under the zero-latency model (which contracts to
+/// be bit-identical to serial). Suites that iterate this list pick up
+/// new executors automatically instead of enumerating them by hand.
+pub fn all_execs() -> [(&'static str, Exec); 4] {
+    [
+        ("serial", Exec::Serial),
+        ("threaded1", Exec::Threaded(1)),
+        ("threaded3", Exec::Threaded(3)),
+        ("async0", Exec::Async(LatencyModel::zero())),
+    ]
+}
 
 /// Classic flooding of the maximum id: on learning a larger id, forward it
 /// through every port. Terminates when the true maximum has stabilized

@@ -32,7 +32,7 @@ use welle_graph::Graph;
 use crate::config::{ElectionConfig, Params};
 use crate::election::{Election, Exec};
 use crate::error::ConfigError;
-use crate::runner::{run_resolved, ElectionReport, PooledEngine};
+use crate::runner::{plan_for, run_resolved, ElectionReport, ExecPlan, PooledEngine};
 use crate::scheduler::run_pool;
 use crate::sink::{ParsedTrial, StreamSink};
 
@@ -577,14 +577,14 @@ impl<'o> Campaign<'o> {
         for s in &scenarios {
             let n = s.believed_n.unwrap_or_else(|| s.graph.n());
             let params = Arc::new(Params::try_derive(n, s.cfg)?);
-            let threads = exec.threads_with(&s.graph, engine_cores)?;
+            let plan = plan_for(exec, &s.graph, engine_cores)?;
             // Fault plans compile once per scenario (O(n + m)) and are
             // shared by every seed's trial.
             let faults = match &s.faults {
                 Some(plan) => Some(plan.compile_for(&s.graph)?),
                 None => None,
             };
-            prepared.push((params, threads, faults));
+            prepared.push((params, plan, faults));
         }
 
         // The deterministic trial order every execution mode reproduces.
@@ -656,19 +656,19 @@ impl<'o> Campaign<'o> {
         let engines_built = if workers > 1 && obs.is_none() {
             let run_one = |pool: &mut PooledEngine, u: usize| {
                 let (si, seed) = order[start + u];
-                let (params, threads, faults) = &prepared[si];
-                match threads {
-                    None => pool.run(
+                let (params, plan, faults) = &prepared[si];
+                match plan {
+                    ExecPlan::Serial => pool.run(
                         &scenarios[si].graph,
                         params,
                         seed,
                         faults.as_ref(),
                         &mut NoopObserver,
                     ),
-                    Some(k) => run_resolved(
+                    other => run_resolved(
                         &scenarios[si].graph,
                         Arc::clone(params),
-                        Some(*k),
+                        *other,
                         seed,
                         faults.as_ref(),
                         &mut NoopObserver,
@@ -682,17 +682,19 @@ impl<'o> Campaign<'o> {
             let mut pool = PooledEngine::new();
             let mut noop = NoopObserver;
             for (i, &(si, seed)) in order.iter().enumerate().take(stop_at).skip(start) {
-                let (params, threads, faults) = &prepared[si];
+                let (params, plan, faults) = &prepared[si];
                 let o: &mut dyn TransmitObserver = match obs.as_deref_mut() {
                     Some(o) => o,
                     None => &mut noop,
                 };
-                let report = match threads {
-                    None => pool.run(&scenarios[si].graph, params, seed, faults.as_ref(), o),
-                    Some(k) => run_resolved(
+                let report = match plan {
+                    ExecPlan::Serial => {
+                        pool.run(&scenarios[si].graph, params, seed, faults.as_ref(), o)
+                    }
+                    other => run_resolved(
                         &scenarios[si].graph,
                         Arc::clone(params),
-                        Some(*k),
+                        *other,
                         seed,
                         faults.as_ref(),
                         o,
@@ -1097,11 +1099,11 @@ mod tests {
             Exec::Threaded(_)
         ));
         assert_eq!(Exec::Auto.resolve_with(&big, 1), Exec::Serial);
-        assert_eq!(Exec::Auto.threads_with(&big, 1).unwrap(), None);
+        assert_eq!(plan_for(Exec::Auto, &big, 1).unwrap(), ExecPlan::Serial);
         // Explicit Threaded(k) stays honored even inside a pool.
         assert_eq!(
-            Exec::Threaded(3).threads_with(&big, 1).unwrap(),
-            Some(3)
+            plan_for(Exec::Threaded(3), &big, 1).unwrap(),
+            ExecPlan::Threaded(3)
         );
     }
 

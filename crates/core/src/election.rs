@@ -23,87 +23,12 @@ use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params};
 use crate::error::ConfigError;
-use crate::runner::{run_resolved, ElectionReport};
+use crate::runner::{plan_for, run_resolved, ElectionReport};
 
-/// Which CONGEST executor drives the election.
-///
-/// Both executors are bit-identical on the same `(graph, config, seed)`
-/// — the choice is purely a wall-clock trade-off. The crossover measured
-/// on this project's hardware is recorded in `BENCH_NOTES.md`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Exec {
-    /// Pick for me: the serial event-driven engine, unless the network
-    /// is large (`n ≥ 10⁴`) *and* dense enough to keep every shard busy
-    /// (average degree ≥ 3) *and* the host actually has spare cores —
-    /// then the sharded engine with one worker per core (capped at 8).
-    #[default]
-    Auto,
-    /// The serial event-driven [`welle_congest::Engine`]: skips idle
-    /// nodes, best for small or sparse networks (and single-core hosts).
-    Serial,
-    /// The sharded [`welle_congest::ThreadedEngine`] with this many
-    /// worker threads (must be ≥ 1; a 1-worker `ThreadedEngine` runs
-    /// its rounds inline on its inner serial engine).
-    Threaded(usize),
-}
-
-impl Exec {
-    /// Resolves `Auto` against a concrete graph and host, yielding
-    /// either `Serial` or `Threaded(k ≥ 1)`.
-    pub fn resolve(self, graph: &Graph) -> Exec {
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-        self.resolve_with(graph, cores)
-    }
-
-    /// [`Exec::resolve`] with an explicit spare-core budget instead of
-    /// the host's count. A [`Campaign`](crate::Campaign) whose trial
-    /// scheduler already owns the cores passes a budget of 1 here, so
-    /// `Auto` resolves to `Serial` and threaded engines are never nested
-    /// inside trial workers. Explicit `Threaded(k)` is honored as given.
-    pub fn resolve_with(self, graph: &Graph, cores: usize) -> Exec {
-        match self {
-            Exec::Auto => {
-                let n = graph.n();
-                let avg_deg = if n == 0 {
-                    0.0
-                } else {
-                    2.0 * graph.m() as f64 / n as f64
-                };
-                if cores >= 2 && n >= 10_000 && avg_deg >= 3.0 {
-                    Exec::Threaded(cores.min(8))
-                } else {
-                    Exec::Serial
-                }
-            }
-            fixed => fixed,
-        }
-    }
-
-    /// Worker-thread count for the resolved choice (`None` = serial).
-    ///
-    /// # Errors
-    ///
-    /// `Threaded(0)` is a [`ConfigError::ZeroThreads`].
-    pub(crate) fn threads(self, graph: &Graph) -> Result<Option<usize>, ConfigError> {
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-        self.threads_with(graph, cores)
-    }
-
-    /// [`Exec::threads`] against an explicit core budget (see
-    /// [`Exec::resolve_with`]).
-    pub(crate) fn threads_with(
-        self,
-        graph: &Graph,
-        cores: usize,
-    ) -> Result<Option<usize>, ConfigError> {
-        match self.resolve_with(graph, cores) {
-            Exec::Serial => Ok(None),
-            Exec::Threaded(0) => Err(ConfigError::ZeroThreads),
-            Exec::Threaded(k) => Ok(Some(k)),
-            Exec::Auto => unreachable!("resolve never returns Auto"),
-        }
-    }
-}
+/// Which CONGEST executor drives the election (re-exported from
+/// [`welle_congest`], where the executors live). `Exec::Async` opens
+/// the latency axis; everything else is the synchronous model.
+pub use welle_congest::Exec;
 
 /// Builder for a single election run: graph in, [`ElectionReport`] out.
 ///
@@ -196,7 +121,8 @@ impl<'g, 'o> Election<'g, 'o> {
     ///
     /// Returns a [`ConfigError`] for any configuration
     /// [`ElectionConfig::validate`] rejects, for
-    /// [`Exec::Threaded`]`(0)`, or for a [`FaultPlan`] that does not fit
+    /// [`Exec::Threaded`]`(0)`, for an [`Exec::Async`] latency model
+    /// with bad parameters, or for a [`FaultPlan`] that does not fit
     /// the graph. Nothing is simulated on error.
     pub fn run(self) -> Result<ElectionReport, ConfigError> {
         let Election {
@@ -210,7 +136,8 @@ impl<'g, 'o> Election<'g, 'o> {
         } = self;
         let n = believed_n.unwrap_or_else(|| graph.n());
         let params = Arc::new(Params::try_derive(n, cfg)?);
-        let threads = exec.threads(graph)?;
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let plan = plan_for(exec, graph, cores)?;
         let compiled = match &faults {
             Some(plan) => Some(plan.compile_for(graph)?),
             None => None,
@@ -220,7 +147,7 @@ impl<'g, 'o> Election<'g, 'o> {
             Some(o) => o,
             None => &mut noop,
         };
-        Ok(run_resolved(graph, params, threads, seed, compiled.as_ref(), obs))
+        Ok(run_resolved(graph, params, plan, seed, compiled.as_ref(), obs))
     }
 }
 
@@ -276,22 +203,38 @@ mod tests {
     fn executors_are_bit_identical() {
         let g = graph();
         let cfg = ElectionConfig::tuned_for_simulation(64);
-        let runs: Vec<_> = [Exec::Auto, Exec::Serial, Exec::Threaded(3)]
-            .into_iter()
-            .map(|exec| {
-                Election::on(&g)
-                    .config(cfg)
-                    .seed(11)
-                    .executor(exec)
-                    .run()
-                    .unwrap()
-            })
-            .collect();
+        let runs: Vec<_> = [
+            Exec::Auto,
+            Exec::Serial,
+            Exec::Threaded(3),
+            Exec::Async(welle_congest::LatencyModel::zero()),
+        ]
+        .into_iter()
+        .map(|exec| {
+            Election::on(&g)
+                .config(cfg)
+                .seed(11)
+                .executor(exec)
+                .run()
+                .unwrap()
+        })
+        .collect();
         for r in &runs[1..] {
             assert_eq!(r.leaders, runs[0].leaders);
             assert_eq!(r.messages, runs[0].messages);
             assert_eq!(r.engine_rounds, runs[0].engine_rounds);
+            assert_eq!(r.virtual_time, runs[0].virtual_time);
         }
+    }
+
+    #[test]
+    fn bad_latency_model_is_a_config_error() {
+        let g = graph();
+        let err = Election::on(&g)
+            .executor(Exec::Async(welle_congest::LatencyModel::fixed(-2.0)))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Latency(_)), "{err:?}");
     }
 
     #[test]

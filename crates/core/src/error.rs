@@ -43,6 +43,10 @@ pub enum ConfigError {
     /// attached to (bad probabilities, crash targets out of range, cuts
     /// naming missing edges).
     Fault(welle_congest::FaultError),
+    /// An [`Exec::Async`](crate::Exec::Async) latency model has
+    /// nonsensical parameters (negative or non-finite latency, an
+    /// inverted uniform range, a service rate outside `(0, 1]`).
+    Latency(welle_congest::LatencyError),
     /// A campaign's streaming results sink
     /// ([`Campaign::stream_csv`](crate::Campaign::stream_csv)) could not
     /// be created, written, or flushed.
@@ -84,6 +88,7 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NoSeeds => write!(f, "campaign has no seeds to run"),
             ConfigError::Fault(e) => write!(f, "fault plan rejected: {e}"),
+            ConfigError::Latency(e) => write!(f, "latency model rejected: {e}"),
             ConfigError::SinkIo { path, detail } => {
                 write!(f, "campaign sink {path}: {detail}")
             }
@@ -97,6 +102,12 @@ impl fmt::Display for ConfigError {
 impl From<welle_congest::FaultError> for ConfigError {
     fn from(e: welle_congest::FaultError) -> Self {
         ConfigError::Fault(e)
+    }
+}
+
+impl From<welle_congest::LatencyError> for ConfigError {
+    fn from(e: welle_congest::LatencyError) -> Self {
+        ConfigError::Latency(e)
     }
 }
 

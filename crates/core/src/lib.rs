@@ -106,5 +106,5 @@ pub use error::ConfigError;
 pub use msg::{ElectionMsg, FwdItem, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
 pub use runner::ElectionReport;
-pub use welle_congest::{FaultError, FaultPlan};
+pub use welle_congest::{FaultError, FaultPlan, LatencyDist, LatencyError, LatencyModel};
 pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

@@ -4,14 +4,52 @@
 use std::sync::Arc;
 
 use welle_congest::{
-    CompiledFaultPlan, Engine, EngineConfig, Executor, RunOutcome, ThreadedEngine,
-    TransmitObserver,
+    AsyncEngine, CompiledFaultPlan, Engine, EngineConfig, Exec, Executor, LatencyModel,
+    RunOutcome, ThreadedEngine, TransmitObserver,
 };
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params, SyncMode};
+use crate::error::ConfigError;
 use crate::protocol::{ElectionNode, SIGNAL_ADVANCE};
 use crate::state::Decision;
+
+/// An [`Exec`] choice resolved and validated against a concrete graph
+/// and core budget: `Auto` is gone, thread counts are positive, latency
+/// models are well-formed. What [`run_resolved`] actually builds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum ExecPlan {
+    /// The serial event-driven engine.
+    Serial,
+    /// The sharded engine with this many workers (≥ 1).
+    Threaded(usize),
+    /// The async engine under this (validated) latency model.
+    Async(LatencyModel),
+}
+
+/// Resolves and validates `exec` against `graph` and a spare-core
+/// budget (see [`Exec::resolve_with`] for the budget's meaning).
+///
+/// # Errors
+///
+/// [`ConfigError::ZeroThreads`] for `Threaded(0)`;
+/// [`ConfigError::Latency`] for an async model with bad parameters.
+pub(crate) fn plan_for(
+    exec: Exec,
+    graph: &Graph,
+    cores: usize,
+) -> Result<ExecPlan, ConfigError> {
+    match exec.resolve_with(graph, cores) {
+        Exec::Serial => Ok(ExecPlan::Serial),
+        Exec::Threaded(0) => Err(ConfigError::ZeroThreads),
+        Exec::Threaded(k) => Ok(ExecPlan::Threaded(k)),
+        Exec::Async(model) => {
+            model.validate()?;
+            Ok(ExecPlan::Async(model))
+        }
+        Exec::Auto => unreachable!("resolve never returns Auto"),
+    }
+}
 
 /// Summary of one election run (one graph, one seed).
 #[derive(Clone, Debug)]
@@ -56,6 +94,11 @@ pub struct ElectionReport {
     pub dropped_tokens: u64,
     /// Diagnostic: routing lookups that found no trail.
     pub broken_routes: u64,
+    /// Virtual time spanned, in rounds (see
+    /// [`Executor::virtual_time`]): equal to `engine_rounds` on the
+    /// synchronous executors and under the zero-latency async model;
+    /// stretched past it when deliveries complete late.
+    pub virtual_time: f64,
     /// Why the engine stopped.
     pub outcome: RunOutcome,
 }
@@ -69,7 +112,8 @@ impl ElectionReport {
     /// The CSV column names matching [`ElectionReport::csv_row`].
     pub fn csv_header() -> &'static str {
         "n,m,contenders,leaders,leader_id,messages,bits,decided_round,\
-         engine_rounds,final_walk_len,epochs_used,gave_up,dropped,crashed,success"
+         engine_rounds,final_walk_len,epochs_used,gave_up,dropped,crashed,\
+         virtual_time,success"
     }
 
     /// This report as one CSV row (columns per
@@ -81,7 +125,7 @@ impl ElectionReport {
     /// the scenario labels in [`Trial::csv_row`](crate::Trial::csv_row).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.n,
             self.m,
             self.contenders,
@@ -96,12 +140,13 @@ impl ElectionReport {
             self.gave_up,
             self.dropped_messages,
             self.crashed,
+            self.virtual_time,
             self.is_success(),
         )
     }
 }
 
-/// Builds the engine named by `threads` (`None` = serial), installs the
+/// Builds the engine named by `plan` (see [`plan_for`]), installs the
 /// pre-compiled fault plan when one is set (compiled once per scenario
 /// by the callers — see [`welle_congest::FaultPlan::compile_for`] —
 /// not once per trial), drives the election to completion, and
@@ -111,7 +156,7 @@ impl ElectionReport {
 pub(crate) fn run_resolved(
     graph: &Arc<Graph>,
     params: Arc<Params>,
-    threads: Option<usize>,
+    plan: ExecPlan,
     seed: u64,
     faults: Option<&CompiledFaultPlan>,
     obs: &mut dyn TransmitObserver,
@@ -121,8 +166,8 @@ pub(crate) fn run_resolved(
         bandwidth_bits: params.bandwidth_bits,
     };
     let cfg = params.cfg;
-    match threads {
-        None => {
+    match plan {
+        ExecPlan::Serial => {
             let mut engine = Engine::from_fn(Arc::clone(graph), engine_cfg, |_| {
                 ElectionNode::new(Arc::clone(&params))
             });
@@ -132,10 +177,21 @@ pub(crate) fn run_resolved(
             let outcome = drive(&mut engine, &params, &cfg, obs);
             summarize(&engine, outcome)
         }
-        Some(k) => {
+        ExecPlan::Threaded(k) => {
             let mut engine = ThreadedEngine::from_fn(Arc::clone(graph), engine_cfg, k, |_| {
                 ElectionNode::new(Arc::clone(&params))
             });
+            if let Some(plan) = faults {
+                engine.set_compiled_faults(plan);
+            }
+            let outcome = drive(&mut engine, &params, &cfg, obs);
+            summarize(&engine, outcome)
+        }
+        ExecPlan::Async(model) => {
+            let mut engine =
+                AsyncEngine::from_fn(Arc::clone(graph), engine_cfg, model, |_| {
+                    ElectionNode::new(Arc::clone(&params))
+                });
             if let Some(plan) = faults {
                 engine.set_compiled_faults(plan);
             }
@@ -295,6 +351,7 @@ fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> Elec
         crashed: engine.metrics().crashed_nodes,
         dropped_tokens,
         broken_routes,
+        virtual_time: engine.virtual_time(),
         outcome,
     }
 }
@@ -409,7 +466,8 @@ mod tests {
         let mut grown = 0usize;
         for seed in [1u64, 2, 3, 1] {
             let pooled = pool.run(&g, &params, seed, None, &mut noop);
-            let fresh = run_resolved(&g, Arc::clone(&params), None, seed, None, &mut noop);
+            let fresh =
+                run_resolved(&g, Arc::clone(&params), ExecPlan::Serial, seed, None, &mut noop);
             assert_eq!(pooled.leaders, fresh.leaders, "seed {seed}");
             assert_eq!(pooled.messages, fresh.messages, "seed {seed}");
             assert_eq!(pooled.bits, fresh.bits, "seed {seed}");
@@ -427,6 +485,25 @@ mod tests {
             pool.arena_capacity() >= grown,
             "reuse must keep the first trial's arena capacity"
         );
+    }
+
+    #[test]
+    fn plan_for_resolves_and_validates() {
+        let g = expander(64, 1);
+        assert_eq!(plan_for(Exec::Auto, &g, 1).unwrap(), ExecPlan::Serial);
+        assert_eq!(
+            plan_for(Exec::Threaded(3), &g, 1).unwrap(),
+            ExecPlan::Threaded(3)
+        );
+        assert_eq!(plan_for(Exec::Threaded(0), &g, 8), Err(ConfigError::ZeroThreads));
+        assert!(matches!(
+            plan_for(Exec::Async(LatencyModel::zero()), &g, 1),
+            Ok(ExecPlan::Async(_))
+        ));
+        assert!(matches!(
+            plan_for(Exec::Async(LatencyModel::uniform(3.0, 1.0)), &g, 1),
+            Err(ConfigError::Latency(_))
+        ));
     }
 
     #[test]

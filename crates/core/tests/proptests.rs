@@ -9,7 +9,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::Payload;
 use welle_core::{
     Campaign, CampaignReport, CampaignSummary, Election, ElectionConfig, ElectionMsg,
-    ElectionReport, Exec, FaultPlan, FwdItem, MsgSizeMode, Params, RevItem, Trial,
+    ElectionReport, Exec, FaultPlan, FwdItem, LatencyModel, MsgSizeMode, Params, RevItem, Trial,
 };
 use welle_graph::GraphBuilder;
 
@@ -48,6 +48,7 @@ fn reports_identical(a: &ElectionReport, b: &ElectionReport) -> bool {
         && a.crashed == b.crashed
         && a.dropped_tokens == b.dropped_tokens
         && a.broken_routes == b.broken_routes
+        && a.virtual_time == b.virtual_time
         && a.outcome == b.outcome
 }
 
@@ -220,6 +221,66 @@ proptest! {
             prop_assert_eq!(fingerprint(&pooled), expect.clone(), "workers = {}", workers);
             prop_assert!(pooled.engines_built <= workers);
         }
+    }
+
+    #[test]
+    fn async_zero_latency_matches_serial_on_full_reports(
+        n in 24usize..48,
+        extra in 8usize..48,
+        seed in any::<u64>(),
+        drop_pm in 0u32..200,
+    ) {
+        // The async executor's zero-latency contract at the Election
+        // level: every field of the report — with or without a biting
+        // fault plan — must be bit-identical to the serial engine's.
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64);
+        let plan = (drop_pm > 0)
+            .then(|| FaultPlan::new(seed ^ 0xBAD).drop_rate(drop_pm as f64 / 1000.0));
+        let run = |exec: Exec| {
+            let mut e = Election::on(&g).config(cfg).seed(seed ^ 0xF02).executor(exec);
+            if let Some(p) = &plan {
+                e = e.faults(p.clone());
+            }
+            e.run().unwrap()
+        };
+        let serial = run(Exec::Serial);
+        let async_ = run(Exec::Async(LatencyModel::zero()));
+        prop_assert!(reports_identical(&serial, &async_));
+        prop_assert_eq!(async_.virtual_time, async_.engine_rounds as f64);
+    }
+
+    #[test]
+    fn async_nonzero_latency_replays_identically(
+        n in 24usize..40,
+        extra in 8usize..32,
+        seed in any::<u64>(),
+        model_kind in 0u8..3,
+    ) {
+        // Sampled latency is a pure function of (graph, config, seed,
+        // model): two fresh runs must agree on every report field.
+        let g = random_connected(n, extra, seed);
+        let mut cfg = ElectionConfig::tuned_for_simulation(n);
+        cfg.max_walk_len = Some(64);
+        let model = match model_kind {
+            0 => LatencyModel::fixed(1.5),
+            1 => LatencyModel::uniform(0.0, 2.0),
+            _ => LatencyModel::log_normal(0.2, 0.5),
+        }
+        .seed(seed ^ 0xCAFE);
+        let run = || {
+            Election::on(&g)
+                .config(cfg)
+                .seed(seed ^ 0xF03)
+                .executor(Exec::Async(model))
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(reports_identical(&a, &b));
+        prop_assert!(a.leaders.len() <= 1, "leaders: {:?}", a.leaders);
     }
 
     #[test]

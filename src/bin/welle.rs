@@ -21,7 +21,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
 use welle::core::broadcast::run_explicit_election;
 use welle::core::{
-    Campaign, Election, ElectionConfig, Exec, FaultPlan, MsgSizeMode, SyncMode, Trial,
+    Campaign, Election, ElectionConfig, Exec, FaultPlan, LatencyModel, MsgSizeMode, SyncMode, Trial,
 };
 use welle::graph::{gen, Graph};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
@@ -38,6 +38,9 @@ struct Args {
     explicit: bool,
     csv: bool,
     threads: Option<usize>,
+    latency: Option<LatencyModel>,
+    latency_seed: Option<u64>,
+    service_rate: Option<f64>,
     trial_threads: Option<usize>,
     out: Option<PathBuf>,
     resume: bool,
@@ -62,6 +65,12 @@ fn usage() -> &'static str {
        --cap L           walk-length cap\n\
        --threads K       force the sharded executor with K workers\n\
                          (default: auto — serial unless large, dense, multicore)\n\
+       --latency SPEC    run on the async executor under a latency model:\n\
+                         zero | fixed:X | uniform:LO,HI | lognormal:MU,SIGMA\n\
+                         (latencies in rounds; not combinable with --threads)\n\
+       --latency-seed S  seed of the latency sampler (default: --seed)\n\
+       --service-rate R  per-edge service rate in (0, 1]; rates below 1\n\
+                         queue messages at busy edges (needs --latency)\n\
        --trial-threads K run trials on K pooled worker threads; output is\n\
                          bit-identical to the serial loop at any K\n\
        --out FILE        stream per-trial CSV rows to FILE (flushed per\n\
@@ -83,6 +92,43 @@ fn usage() -> &'static str {
        --fault-seed S    seed of the fault schedule (default: --seed)"
 }
 
+/// Parses a `--latency` spec: `zero`, `fixed:X`, `uniform:LO,HI`, or
+/// `lognormal:MU,SIGMA`. Seed and service rate are layered on by the
+/// caller; parameter *values* are validated by the election builder.
+fn parse_latency(spec: &str) -> Result<LatencyModel, String> {
+    if spec == "zero" {
+        return Ok(LatencyModel::zero());
+    }
+    let (kind, rest) = spec.split_once(':').ok_or_else(|| {
+        format!("bad latency spec {spec} (want zero | fixed:X | uniform:LO,HI | lognormal:MU,SIGMA)")
+    })?;
+    let nums = |k: usize| -> Result<Vec<f64>, String> {
+        let v = rest
+            .split(',')
+            .map(|x| x.trim().parse::<f64>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| format!("bad latency parameters in {spec}"))?;
+        if v.len() != k {
+            return Err(format!("latency spec {spec}: expected {k} parameter(s)"));
+        }
+        Ok(v)
+    };
+    match kind {
+        "fixed" => Ok(LatencyModel::fixed(nums(1)?[0])),
+        "uniform" => {
+            let v = nums(2)?;
+            Ok(LatencyModel::uniform(v[0], v[1]))
+        }
+        "lognormal" => {
+            let v = nums(2)?;
+            Ok(LatencyModel::log_normal(v[0], v[1]))
+        }
+        other => Err(format!(
+            "unknown latency kind {other} (want zero | fixed | uniform | lognormal)"
+        )),
+    }
+}
+
 fn parse() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.len() < 2 {
@@ -100,6 +146,9 @@ fn parse() -> Result<Args, String> {
         explicit: false,
         csv: false,
         threads: None,
+        latency: None,
+        latency_seed: None,
+        service_rate: None,
         trial_threads: None,
         out: None,
         resume: false,
@@ -141,6 +190,30 @@ fn parse() -> Result<Args, String> {
                         .ok_or("--threads needs a value")?
                         .parse()
                         .map_err(|_| "bad threads")?,
+                );
+            }
+            "--latency" => {
+                i += 1;
+                args.latency = Some(parse_latency(
+                    argv.get(i).ok_or("--latency needs a value")?,
+                )?);
+            }
+            "--latency-seed" => {
+                i += 1;
+                args.latency_seed = Some(
+                    argv.get(i)
+                        .ok_or("--latency-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad latency seed")?,
+                );
+            }
+            "--service-rate" => {
+                i += 1;
+                args.service_rate = Some(
+                    argv.get(i)
+                        .ok_or("--service-rate needs a value")?
+                        .parse()
+                        .map_err(|_| "bad service rate")?,
                 );
             }
             "--trial-threads" => {
@@ -228,6 +301,25 @@ fn parse() -> Result<Args, String> {
     }
     if args.explicit && args.threads.is_some() {
         return Err("--threads is not supported with --explicit".to_string());
+    }
+    if args.latency.is_some() && args.threads.is_some() {
+        return Err(
+            "--latency picks the async executor; it cannot be combined with --threads"
+                .to_string(),
+        );
+    }
+    if args.latency.is_some() && args.explicit {
+        return Err("--latency is not supported with --explicit".to_string());
+    }
+    if args.latency.is_some() && args.baseline.is_some() {
+        return Err(
+            "--latency is not supported with --baseline (the baseline would run \
+             synchronously, making the comparison apples-to-oranges)"
+                .to_string(),
+        );
+    }
+    if args.latency.is_none() && (args.latency_seed.is_some() || args.service_rate.is_some()) {
+        return Err("--latency-seed and --service-rate have no effect without --latency".to_string());
     }
     if args.explicit
         && (args.trial_threads.is_some()
@@ -344,9 +436,16 @@ fn main() -> ExitCode {
         cfg.max_walk_len = Some(cap);
     }
 
-    let exec = match args.threads {
-        Some(k) => Exec::Threaded(k),
-        None => Exec::Auto,
+    let exec = match (args.latency, args.threads) {
+        (Some(model), _) => {
+            let mut model = model.seed(args.latency_seed.unwrap_or(args.seed));
+            if let Some(rate) = args.service_rate {
+                model = model.service_rate(rate);
+            }
+            Exec::Async(model)
+        }
+        (None, Some(k)) => Exec::Threaded(k),
+        (None, None) => Exec::Auto,
     };
     // Adversarial network conditions, replayable from the fault seed.
     let fault_plan = if args.drop_rate.is_some() || args.crash.is_some() {
@@ -390,6 +489,7 @@ fn main() -> ExitCode {
         // `on_trial` streams each trial's line as it completes, so long
         // sweeps show progress instead of buffering until the end.
         let csv = args.csv;
+        let latent = args.latency.is_some();
         let multi_scenario = args.drop_sweep.as_ref().is_some_and(|s| s.len() > 1);
         let have_faults = fault_plan.is_some();
         let mut proto = Election::on(&graph).config(cfg).executor(exec);
@@ -441,9 +541,14 @@ fn main() -> ExitCode {
                     } else {
                         String::new()
                     };
+                    let vtime = if latent {
+                        format!(" vtime={:.2}", rep.virtual_time)
+                    } else {
+                        String::new()
+                    };
                     println!(
                         "{scenario}seed {}: leaders={:?} id={:?} contenders={} msgs={} bits={} \
-                         rounds={} t_u={} epochs={} gave_up={}{faults}",
+                         rounds={} t_u={} epochs={} gave_up={}{faults}{vtime}",
                         t.seed,
                         rep.leaders,
                         rep.leader_id,

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
+use welle::congest::testing::all_execs;
 use welle::congest::TransmitEvent;
 use welle::core::{
     Campaign, ConfigError, Election, ElectionConfig, ElectionReport, Exec, FaultPlan, SyncMode,
@@ -37,6 +38,7 @@ fn assert_identical(a: &ElectionReport, b: &ElectionReport, what: &str) {
     assert_eq!(a.crashed, b.crashed, "{what}: crashed");
     assert_eq!(a.dropped_tokens, b.dropped_tokens, "{what}: dropped_tokens");
     assert_eq!(a.broken_routes, b.broken_routes, "{what}: broken_routes");
+    assert_eq!(a.virtual_time, b.virtual_time, "{what}: virtual_time");
     assert_eq!(a.outcome, b.outcome, "{what}: outcome");
 }
 
@@ -69,9 +71,7 @@ fn executors_are_bit_identical_across_sync_modes() {
     for (name, cfg) in configs() {
         for seed in [1u64, 2, 3] {
             let serial = elect(&g, cfg, seed, Exec::Serial);
-            for (exec_name, exec) in
-                [("threaded1", Exec::Threaded(1)), ("threaded3", Exec::Threaded(3))]
-            {
+            for (exec_name, exec) in all_execs() {
                 let par = elect(&g, cfg, seed, exec);
                 assert_identical(
                     &serial,
@@ -175,7 +175,7 @@ fn zero_fault_plan_is_indistinguishable_from_no_plan() {
     let g = expander(96, 12);
     for (name, cfg) in configs() {
         let plain = elect(&g, cfg, 6, Exec::Serial);
-        for exec in [Exec::Serial, Exec::Threaded(3)] {
+        for (exec_name, exec) in all_execs() {
             let faulted = Election::on(&g)
                 .config(cfg)
                 .seed(6)
@@ -183,7 +183,7 @@ fn zero_fault_plan_is_indistinguishable_from_no_plan() {
                 .faults(FaultPlan::new(999))
                 .run()
                 .unwrap();
-            assert_identical(&plain, &faulted, &format!("{name}/zero-fault {exec:?}"));
+            assert_identical(&plain, &faulted, &format!("{name}/zero-fault {exec_name}"));
             assert_eq!(faulted.dropped_messages, 0);
             assert_eq!(faulted.crashed, 0);
         }
@@ -212,15 +212,15 @@ fn faulted_elections_are_bit_identical_across_executors() {
         .run()
         .unwrap();
     assert!(serial.dropped_messages > 0, "the plan must actually bite");
-    for threads in [1usize, 4] {
+    for (exec_name, exec) in all_execs() {
         let par = Election::on(&g)
             .config(cfg)
             .seed(2)
-            .executor(Exec::Threaded(threads))
+            .executor(exec)
             .faults(plan.clone())
             .run()
             .unwrap();
-        assert_identical(&serial, &par, &format!("faulted threaded({threads})"));
+        assert_identical(&serial, &par, &format!("faulted {exec_name}"));
     }
     // Campaign scenarios carry plans too, through the same code path —
     // serially and on the pooled trial scheduler.

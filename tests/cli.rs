@@ -69,6 +69,51 @@ fn incompatible_flags_are_rejected_up_front() {
 }
 
 #[test]
+fn latency_flags_are_validated_and_zero_matches_the_sync_run() {
+    // Flag validation: the async executor excludes the sharded one, and
+    // the latency sub-options need --latency.
+    let both = welle(&["ring", "16", "--latency", "fixed:2", "--threads", "2"]);
+    assert!(!both.status.success());
+    assert!(String::from_utf8(both.stderr)
+        .unwrap()
+        .contains("cannot be combined with --threads"));
+    let lone_rate = welle(&["ring", "16", "--service-rate", "0.5"]);
+    assert!(!lone_rate.status.success());
+    assert!(String::from_utf8(lone_rate.stderr)
+        .unwrap()
+        .contains("no effect without --latency"));
+    let bad_spec = welle(&["ring", "16", "--latency", "gaussian:1"]);
+    assert!(!bad_spec.status.success());
+
+    // Bad model *parameters* surface as a config error, not a panic.
+    let bad_params = welle(&["ring", "16", "--latency", "uniform:3,1"]);
+    assert!(!bad_params.status.success());
+    assert!(String::from_utf8(bad_params.stderr)
+        .unwrap()
+        .contains("latency model rejected"));
+
+    // End to end through the CLI, --latency zero reproduces the
+    // synchronous run's CSV rows bit for bit.
+    let sync = welle(&["ring", "16", "--seeds", "2", "--cap", "32", "--csv"]);
+    assert!(sync.status.success(), "{sync:?}");
+    let zero = welle(&[
+        "ring", "16", "--seeds", "2", "--cap", "32", "--csv", "--latency", "zero",
+    ]);
+    assert!(zero.status.success(), "{zero:?}");
+    assert_eq!(
+        String::from_utf8(sync.stdout).unwrap(),
+        String::from_utf8(zero.stdout).unwrap(),
+        "zero-latency CSV must be bit-identical to the sync executor's"
+    );
+
+    // A sampled model runs to completion and stretches virtual time
+    // into the human-readable report line.
+    let sampled = welle(&["ring", "16", "--cap", "32", "--latency", "lognormal:0.3,0.6"]);
+    assert!(sampled.status.success(), "{sampled:?}");
+    assert!(String::from_utf8(sampled.stdout).unwrap().contains("vtime="));
+}
+
+#[test]
 fn interrupted_sweep_resumes_byte_identically_under_trial_threads() {
     let sweep = |out_file: &str, extra: &[&str]| {
         let mut args = vec![

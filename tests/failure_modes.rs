@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use rand::{rngs::StdRng, SeedableRng};
+use welle::congest::testing::all_execs;
 use welle::core::{Election, ElectionConfig, ElectionReport, FaultPlan};
 use welle::graph::{gen, Graph};
 
@@ -13,8 +14,27 @@ fn expander(n: usize, seed: u64) -> Arc<Graph> {
     Arc::new(gen::random_regular(n, 4, &mut rng).unwrap())
 }
 
+/// Runs the same election on every executor — failure shapes must not
+/// depend on the engine — and returns the serial report after checking
+/// they all agree on the visible outcome.
 fn elect(g: &Arc<Graph>, cfg: &ElectionConfig, seed: u64) -> ElectionReport {
-    Election::on(g).config(*cfg).seed(seed).run().unwrap()
+    let mut runs = all_execs().into_iter().map(|(name, exec)| {
+        let r = Election::on(g)
+            .config(*cfg)
+            .seed(seed)
+            .executor(exec)
+            .run()
+            .unwrap();
+        (name, r)
+    });
+    let (_, first) = runs.next().unwrap();
+    for (name, r) in runs {
+        assert_eq!(r.leaders, first.leaders, "{name}: leaders");
+        assert_eq!(r.messages, first.messages, "{name}: messages");
+        assert_eq!(r.gave_up, first.gave_up, "{name}: gave_up");
+        assert_eq!(r.outcome, first.outcome, "{name}: outcome");
+    }
+    first
 }
 
 #[test]

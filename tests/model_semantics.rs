@@ -85,6 +85,51 @@ fn anonymous_ports_hide_neighbors() {
 }
 
 #[test]
+fn safety_holds_across_latency_models_and_drop_rates() {
+    // The safety census under the latency axis: whatever the latency
+    // model — fixed skew, uniform jitter, heavy-tailed log-normal, or
+    // hub congestion via a sub-unit service rate — composed with
+    // message drops, an election must never certify two leaders.
+    // Liveness is allowed to fail (visible give-ups); safety is not.
+    use welle::core::{Election, ElectionConfig, Exec, FaultPlan, LatencyModel};
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = Arc::new(gen::random_regular(48, 4, &mut rng).unwrap());
+    let cfg = ElectionConfig {
+        max_walk_len: Some(64), // keep faulted give-ups cheap
+        ..ElectionConfig::tuned_for_simulation(48)
+    };
+    let models = [
+        ("fixed", LatencyModel::fixed(2.0)),
+        ("uniform", LatencyModel::uniform(0.0, 3.0)),
+        ("lognormal", LatencyModel::log_normal(0.4, 0.7)),
+        ("congested", LatencyModel::uniform(0.5, 1.5).service_rate(0.5)),
+    ];
+    for (name, model) in models {
+        for drop_rate in [0.0, 0.1, 0.3] {
+            for seed in [1u64, 2] {
+                let mut e = Election::on(&g)
+                    .config(cfg)
+                    .seed(seed)
+                    .executor(Exec::Async(model.seed(seed ^ 0xD1CE)));
+                if drop_rate > 0.0 {
+                    e = e.faults(FaultPlan::new(seed).drop_rate(drop_rate));
+                }
+                let r = e.run().unwrap();
+                assert!(
+                    r.leaders.len() <= 1,
+                    "{name}/p={drop_rate}/seed {seed}: leaders = {:?}",
+                    r.leaders
+                );
+                assert!(
+                    r.virtual_time >= r.engine_rounds as f64,
+                    "{name}: virtual time can only stretch past the round clock"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn observer_totals_match_metrics_on_election() {
     use welle::core::{Election, ElectionConfig};
     let mut rng = StdRng::seed_from_u64(2);

@@ -152,6 +152,86 @@ impl Bernoulli {
     }
 }
 
+/// A normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// Samples are produced by the Box–Muller transform from two uniform
+/// 64-bit words, and — like [`Bernoulli::check`] — the transform is
+/// exposed as a pure function of those words ([`Normal::from_words`]),
+/// so the same distribution can be driven either by an RNG stream or by
+/// a stateless hash of replay-stable coordinates (what the asynchronous
+/// executor's latency models use).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds the distribution.
+    ///
+    /// Returns `None` unless `mean` is finite and `std_dev` is finite
+    /// and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Option<Normal> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return None;
+        }
+        Some(Normal { mean, std_dev })
+    }
+
+    /// Evaluates the distribution against two uniform 64-bit words
+    /// (Box–Muller; the first word is mapped into `(0, 1]` so the
+    /// logarithm is always finite).
+    #[inline]
+    pub fn from_words(&self, w1: u64, w2: u64) -> f64 {
+        // (w1 >> 11) ∈ [0, 2⁵³); +1 keeps u1 in (0, 1].
+        let u1 = ((w1 >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = uniform::unit_f64(w2);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let z = r * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws one sample from `rng`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let w1 = rng.next_u64();
+        let w2 = rng.next_u64();
+        self.from_words(w1, w2)
+    }
+}
+
+/// A log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// `mu`/`sigma` parameterize the *underlying* normal, so the median is
+/// `exp(mu)` and samples are always strictly positive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Builds the distribution.
+    ///
+    /// Returns `None` unless `mu` is finite and `sigma` is finite and
+    /// non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Option<LogNormal> {
+        Normal::new(mu, sigma).map(|norm| LogNormal { norm })
+    }
+
+    /// Evaluates the distribution against two uniform 64-bit words (see
+    /// [`Normal::from_words`]).
+    #[inline]
+    pub fn from_words(&self, w1: u64, w2: u64) -> f64 {
+        self.norm.from_words(w1, w2).exp()
+    }
+
+    /// Draws one sample from `rng`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let w1 = rng.next_u64();
+        let w2 = rng.next_u64();
+        self.from_words(w1, w2)
+    }
+}
+
 /// Types samplable uniformly over their whole domain (`RngExt::random`).
 pub trait Standard: Sized {
     /// Draws one value from `rng`.
@@ -298,6 +378,70 @@ mod tests {
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..256 {
             assert_eq!(d.sample(&mut a), d.check(b.next_u64()));
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        use super::{LogNormal, Normal};
+        assert!(Normal::new(f64::NAN, 1.0).is_none());
+        assert!(Normal::new(0.0, -1.0).is_none());
+        assert!(Normal::new(0.0, f64::INFINITY).is_none());
+        assert!(Normal::new(0.0, 0.0).is_some());
+        assert!(LogNormal::new(f64::NAN, 0.5).is_none());
+        assert!(LogNormal::new(0.0, -0.5).is_none());
+        assert!(LogNormal::new(0.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        use super::Normal;
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+        // Zero deviation degenerates to the constant mean.
+        let point = Normal::new(5.0, 0.0).unwrap();
+        assert_eq!(point.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_the_right_median() {
+        use super::LogNormal;
+        let d = LogNormal::new(1.0, 0.75).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        // Median of exp(N(mu, sigma²)) is exp(mu).
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median = {median}");
+    }
+
+    #[test]
+    fn log_normal_seeded_stream_is_pinned() {
+        // Like `bernoulli_seeded_stream_is_pinned`: the latency models of
+        // the asynchronous executor consume this exact sampler, so the
+        // stream for a fixed seed is part of the workspace contract.
+        use super::LogNormal;
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let seq: Vec<u64> = (0..8).map(|_| (d.sample(&mut rng) * 1e6) as u64).collect();
+        let expected = [874_324, 973_136, 748_796, 447_236, 2_247_551, 1_372_712, 1_488_661, 524_101];
+        assert_eq!(seq, expected, "pinned LogNormal(0, 0.5) stream for seed 42");
+        // The transform is a pure function of two words: the RNG stream
+        // and direct word evaluation agree.
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..256 {
+            let w1 = b.next_u64();
+            let w2 = b.next_u64();
+            assert_eq!(d.sample(&mut a), d.from_words(w1, w2));
         }
     }
 
