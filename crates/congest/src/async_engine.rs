@@ -212,6 +212,7 @@ impl<P: Protocol> AsyncEngine<P> {
                     let due = self
                         .lat
                         .next_release_round()
+                        // welle-lint: allow(no-lib-unwrap) — invariant: this branch is only reached when parked > 0, and every parked event has a release tick
                         .expect("parked > 0 implies a next release round");
                     let target = match core.wakeups.peek() {
                         Some(&Reverse((r, _))) => due.min(r),

@@ -401,6 +401,7 @@ impl<P: Protocol> Engine<P> {
                         .faults
                         .as_ref()
                         .and_then(|f| f.next_due())
+                        // welle-lint: allow(no-lib-unwrap) — invariant: the surrounding `!drained` branch established parked > 0, and every parked message carries a due round
                         .expect("parked > 0 implies a next due round");
                     let target = match self.wakeups.peek() {
                         Some(&Reverse((r, _))) => due.min(r),
@@ -532,7 +533,7 @@ impl<P: Protocol> Engine<P> {
                 active.clear();
                 for (i, flag) in self.inbox_flag.iter().enumerate() {
                     if *flag {
-                        active.push(i as u32);
+                        active.push(crate::idx32(i));
                     }
                 }
             } else {
@@ -583,7 +584,7 @@ impl<P: Protocol> Engine<P> {
                 round: self.round,
                 n,
                 degree,
-                dir_base: self.graph.directed_base(u) as u32,
+                dir_base: crate::idx32(self.graph.directed_base(u)),
                 budget: self.cfg.bandwidth_bits,
                 sent: 0,
                 rng: &mut self.rngs[i],
@@ -601,7 +602,7 @@ impl<P: Protocol> Engine<P> {
             self.metrics.sent_by_node[i] += sent as u64;
         }
         if let Some(r) = wake {
-            self.wakeups.push(Reverse((r.max(self.round + 1), i as u32)));
+            self.wakeups.push(Reverse((r.max(self.round + 1), crate::idx32(i))));
         }
         let done_now = self.nodes[i].is_done();
         if done_now != self.done_flags[i] {
@@ -705,6 +706,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
         sink: &mut impl FnMut(NodeId, Port, M),
     ) {
         while fs.due_now(self.round) {
+            // welle-lint: allow(no-lib-unwrap) — invariant: due_now() just peeked a head element at or before this round
             let d = fs.delayed.pop().expect("due_now implies nonempty");
             let dst = self.graph.directed_info(d.dir as usize).dst;
             if fs.compiled.is_crashed(dst.index(), self.round) {
@@ -778,7 +780,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
         if delay == 0 {
             self.deliver(dir, msg, obs, sink);
         } else {
-            fs.park(self.round + delay as u64, dir as u32, msg);
+            fs.park(self.round + delay as u64, crate::idx32(dir), msg);
         }
     }
 
@@ -879,7 +881,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             }
             fault_delay = c.edge_delay(info.edge.index());
         }
-        let due = lat.crossing_due(self.round, dir as u32, fault_delay);
+        let due = lat.crossing_due(self.round, crate::idx32(dir), fault_delay);
         let horizon = self
             .round
             .saturating_add(1)
@@ -888,7 +890,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             lat.note_delivered(due);
             self.deliver(dir, msg, obs, sink);
         } else {
-            lat.park(due, dir as u32, msg);
+            lat.park(due, crate::idx32(dir), msg);
         }
     }
 

@@ -135,6 +135,7 @@ impl FaultPlan {
     /// still a valid plan — it exercises the fault-aware delivery path
     /// and must be bit-identical to running without one.
     pub fn is_vacuous(&self) -> bool {
+        // welle-lint: allow(no-float-eq) — exact-zero sentinel test on a user-set rate; never the result of arithmetic
         self.drop_rate == 0.0
             && self.crashes.is_empty()
             && self.crash_fractions.is_empty()
@@ -274,6 +275,7 @@ impl CompiledFaults {
         // nodes a crash fraction picks.
         let mut crash_rng = StdRng::seed_from_u64(plan.seed ^ 0xC4A5_4CA5_4CA5_4CA5);
         for &(frac, round) in &plan.crash_fractions {
+            // welle-lint: allow(no-lib-unwrap) — invariant: compile() rejected out-of-range fractions before this loop
             let dist = Bernoulli::new(frac).expect("fraction validated above");
             for node in 0..n {
                 if crash_rng.sample_bernoulli(&dist) {
@@ -319,6 +321,7 @@ impl CompiledFaults {
         }
         let mut cut_rng = StdRng::seed_from_u64(plan.seed ^ 0x0C07_0C07_0C07_0C07);
         for &(frac, round) in &plan.cut_fractions {
+            // welle-lint: allow(no-lib-unwrap) — invariant: compile() rejected out-of-range fractions before this loop
             let dist = Bernoulli::new(frac).expect("fraction validated above");
             for edge in 0..m {
                 if cut_rng.sample_bernoulli(&dist) {
@@ -329,6 +332,7 @@ impl CompiledFaults {
 
         Ok(CompiledFaults {
             drop: if plan.drop_rate > 0.0 {
+                // welle-lint: allow(no-lib-unwrap) — invariant: compile() rejected out-of-range drop rates before constructing CompiledFaults
                 Some(Bernoulli::new(plan.drop_rate).expect("rate validated above"))
             } else {
                 None

@@ -271,6 +271,7 @@ impl<M> LatencyState<M> {
     pub(crate) fn new(model: LatencyModel, dir_count: usize) -> Self {
         let lognormal = match model.dist {
             LatencyDist::LogNormal { mu, sigma } => {
+                // welle-lint: allow(no-lib-unwrap) — invariant: LatencyModel::validate() already rejected non-finite mu / non-positive sigma
                 Some(LogNormal::new(mu, sigma).expect("model validated"))
             }
             _ => None,
@@ -303,6 +304,7 @@ impl<M> LatencyState<M> {
             LatencyDist::LogNormal { .. } => {
                 let w1 = mix3(self.model.seed, round, dir as u64);
                 let w2 = mix3(self.model.seed ^ W2_SALT, round, dir as u64);
+                // welle-lint: allow(no-lib-unwrap) — invariant: new() populates `lognormal` exactly when the dist is LogNormal
                 let ln = self.lognormal.as_ref().expect("built in new()");
                 to_ticks(ln.from_words(w1, w2))
             }

@@ -64,6 +64,22 @@ mod trace;
 pub mod testing;
 
 pub use async_engine::AsyncEngine;
+
+/// Narrows a node/edge/slot index to the engine's `u32` arena
+/// representation: the single sanctioned narrowing point in the hot
+/// path. Every index space here is bounded by `2m` (directed edges) or
+/// `n` (nodes), which the graph layer already caps at `u32` range via
+/// `NodeId`/`EdgeId` construction; the debug assert keeps that bound
+/// honest while release builds keep the cast free.
+#[inline(always)]
+pub(crate) fn idx32(i: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "index {i} exceeds the u32 arena range"
+    );
+    // welle-lint: allow(no-narrowing-cast) — sole checked narrowing point; bound debug-asserted above, enforced at graph construction
+    i as u32
+}
 pub use engine::{Engine, EngineConfig, RunOutcome};
 pub use exec::{Exec, Executor};
 pub use faults::{CompiledFaultPlan, FaultError, FaultPlan};

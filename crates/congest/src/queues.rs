@@ -61,7 +61,7 @@ impl<M> EdgeQueues<M> {
             self.pool[s as usize] = Some(msg);
             s
         } else {
-            let s = self.pool.len() as u32;
+            let s = crate::idx32(self.pool.len());
             self.pool.push(Some(msg));
             self.next.push(NIL);
             s
@@ -69,7 +69,7 @@ impl<M> EdgeQueues<M> {
         self.next[slot as usize] = NIL;
         if self.tail[dir] == NIL {
             self.head[dir] = slot;
-            self.active.push(dir as u32);
+            self.active.push(crate::idx32(dir));
         } else {
             self.next[self.tail[dir] as usize] = slot;
         }
@@ -97,7 +97,7 @@ impl<M> EdgeQueues<M> {
         for i in (0..self.pool.len()).rev() {
             self.pool[i] = None;
             self.next[i] = self.free;
-            self.free = i as u32;
+            self.free = crate::idx32(i);
         }
         self.active.clear();
         self.total_queued = 0;
@@ -127,6 +127,7 @@ impl<M> EdgeQueues<M> {
             debug_assert!(slot != NIL, "active directed edge has a queued message");
             let msg = self.pool[slot as usize]
                 .take()
+                // welle-lint: allow(no-lib-unwrap) — invariant: `active` only lists directed edges whose head slot is occupied (debug-asserted above)
                 .expect("queue slot holds a message");
             self.head[d] = self.next[slot as usize];
             if self.head[d] == NIL {

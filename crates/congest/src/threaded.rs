@@ -117,7 +117,7 @@ impl<P: Protocol> Shard<P> {
                 todo.clear();
                 for (local, flag) in self.flags.iter().enumerate() {
                     if *flag {
-                        todo.push(local as u32);
+                        todo.push(crate::idx32(local));
                     }
                 }
             } else {
@@ -150,7 +150,7 @@ impl<P: Protocol> Shard<P> {
                 round,
                 n: env.n_total,
                 degree: env.graph.degree(u),
-                dir_base: env.graph.directed_base(u) as u32,
+                dir_base: crate::idx32(env.graph.directed_base(u)),
                 budget: env.budget,
                 sent: 0,
                 rng: &mut self.rngs[local],
@@ -168,11 +168,11 @@ impl<P: Protocol> Shard<P> {
             sent = ctx.sent;
         }
         if sent > 0 {
-            self.sent_log.push((local as u32, sent));
+            self.sent_log.push((crate::idx32(local), sent));
         }
         if let Some(r) = wake {
             self.wakeups
-                .push(Reverse((r.max(round + 1), local as u32)));
+                .push(Reverse((r.max(round + 1), crate::idx32(local))));
         }
         let done_now = self.nodes[local].is_done();
         if done_now != self.done_flags[local] {
@@ -209,7 +209,7 @@ fn shard_sink<'v, 's, P: Protocol>(
         shard.inboxes[local].push((q, msg));
         if !shard.flags[local] {
             shard.flags[local] = true;
-            shard.active.push(local as u32);
+            shard.active.push(crate::idx32(local));
             *inbox_total += 1;
         }
     }
@@ -442,11 +442,18 @@ impl<P: Protocol> ThreadedEngine<P> {
                             budget,
                             faults: compiled.as_deref(),
                         };
-                        let mut shard = cell.lock().expect("shard lock");
+                        // Poison recovery: a prior panic is already
+                        // captured in `panicked` and re-raised by the
+                        // coordinator, so the flag adds nothing here.
+                        let mut shard = cell
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         shard.run_phase(&env, c == CMD_START, r);
                     }));
                     if let Err(payload) = result {
-                        *panicked.lock().expect("panic slot") = Some(payload);
+                        *panicked
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(payload);
                     }
                     barrier.wait();
                 });
@@ -482,13 +489,17 @@ impl<P: Protocol> ThreadedEngine<P> {
                     round_now.store(self.inner.round, Ordering::SeqCst);
                     barrier.wait(); // workers run the protocol phase
                     barrier.wait(); // workers finished
-                    if let Some(payload) = panicked.lock().expect("panic slot").take() {
+                    let payload = panicked
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take();
+                    if let Some(payload) = payload {
                         resume_unwind(payload);
                     }
                 }
                 let mut guards: Vec<_> = cells
                     .iter()
-                    .map(|c| c.lock().expect("shard lock"))
+                    .map(|c| c.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
                     .collect();
                 if inline {
                     // Sparse round: run the phase inline, workers stay
@@ -541,6 +552,7 @@ impl<P: Protocol> ThreadedEngine<P> {
                     .faults
                     .as_ref()
                     .and_then(|f| f.next_due())
+                    // welle-lint: allow(no-lib-unwrap) — invariant: the `!drained` branch above established parked > 0, and every parked message carries a due round
                     .expect("parked > 0 implies a next due round");
                 let target = match agg.min_wake {
                     Some(r) => due.min(r),
@@ -703,12 +715,12 @@ impl<P: Protocol> ThreadedEngine<P> {
         shards.reverse();
         for i in std::mem::take(&mut inner.inbox_active) {
             let s = i as usize / shard_len;
-            let base = shards[s].base as u32;
+            let base = crate::idx32(shards[s].base);
             shards[s].active.push(i - base);
         }
         for Reverse((r, i)) in std::mem::take(&mut inner.wakeups) {
             let s = i as usize / shard_len;
-            let base = shards[s].base as u32;
+            let base = crate::idx32(shards[s].base);
             shards[s].wakeups.push(Reverse((r, i - base)));
         }
         for shard in &mut shards {
@@ -722,7 +734,7 @@ impl<P: Protocol> ThreadedEngine<P> {
         let inner = &mut self.inner;
         inner.done_count = 0;
         for shard in shards {
-            let base = shard.base as u32;
+            let base = crate::idx32(shard.base);
             inner.nodes.extend(shard.nodes);
             inner.rngs.extend(shard.rngs);
             inner.inboxes.extend(shard.inboxes);

@@ -19,7 +19,7 @@
 //!    and have heard no winner — declare leadership and flood a winner
 //!    wave (proxies relay it to all their contenders).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use rand::RngExt;
@@ -49,8 +49,10 @@ pub struct ElectionNode {
     pending_stays: Vec<(u64, u32, u32, u32)>,
     /// Union of `I2` fragments received this epoch while acting as proxy.
     i3_acc: std::collections::BTreeSet<u64>,
-    /// Per-epoch forward dedup ("filtering and forwarding").
-    fwd_seen: HashSet<u64>,
+    /// Per-epoch forward dedup ("filtering and forwarding"). Ordered
+    /// container: seeded-path state must never depend on hash order
+    /// (enforced by `welle-lint`'s `no-hash-iter`).
+    fwd_seen: BTreeSet<u64>,
     winner_heard: Option<u64>,
     winner_relayed_as_proxy: bool,
     /// Next unfired global segment index.
@@ -72,7 +74,7 @@ impl ElectionNode {
             proxies: BTreeMap::new(),
             pending_stays: Vec::new(),
             i3_acc: std::collections::BTreeSet::new(),
-            fwd_seen: HashSet::new(),
+            fwd_seen: BTreeSet::new(),
             winner_heard: None,
             winner_relayed_as_proxy: false,
             seg_idx: 0,
@@ -394,6 +396,7 @@ impl ElectionNode {
         if split.stay > 0 {
             self.trails
                 .enter_epoch(origin, epoch, walk_len)
+                // welle-lint: allow(no-lib-unwrap) — invariant: enter_epoch for this (origin, epoch) succeeded lines above with the same walk_len
                 .expect("trail just created")
                 .record_out(step, Hop::Stay);
             self.pending_stays
@@ -404,6 +407,7 @@ impl ElectionNode {
         for (port, cnt) in split.moves {
             self.trails
                 .enter_epoch(origin, epoch, walk_len)
+                // welle-lint: allow(no-lib-unwrap) — invariant: enter_epoch for this (origin, epoch) succeeded lines above with the same walk_len
                 .expect("trail just created")
                 .record_out(step, Hop::Via(port));
             ctx.send(

@@ -24,8 +24,17 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex, recovering from poisoning. A worker panic already
+/// trips `worker_died` (re-raised when the scope joins), so the poison
+/// flag carries no extra information here — recovering it keeps the
+/// drainer alive long enough to surface the *original* panic instead of
+/// masking it with a secondary `PoisonError` unwind.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 use crate::runner::PooledEngine;
 
@@ -80,11 +89,11 @@ where
                 };
                 let mut pool = PooledEngine::new();
                 loop {
-                    let mut unit = queues[w].lock().unwrap().pop_front();
+                    let mut unit = lock_recovering(&queues[w]).pop_front();
                     if unit.is_none() {
                         for v in 1..workers {
                             let victim = (w + v) % workers;
-                            if let Some(u) = queues[victim].lock().unwrap().pop_back() {
+                            if let Some(u) = lock_recovering(&queues[victim]).pop_back() {
                                 unit = Some(u);
                                 break;
                             }
@@ -92,10 +101,10 @@ where
                     }
                     let Some(u) = unit else { break };
                     let result = run_one(&mut pool, u);
-                    slots.lock().unwrap()[u] = Some(result);
+                    lock_recovering(slots)[u] = Some(result);
                     ready.notify_all();
                 }
-                *engines_built.lock().unwrap() += pool.built;
+                *lock_recovering(engines_built) += pool.built;
             });
         }
 
@@ -106,10 +115,11 @@ where
         while cursor < total {
             let mut batch = Vec::new();
             {
-                let mut guard = slots.lock().unwrap();
+                let mut guard = lock_recovering(&slots);
                 loop {
-                    while cursor < total && guard[cursor].is_some() {
-                        batch.push((cursor, guard[cursor].take().unwrap()));
+                    while cursor < total {
+                        let Some(result) = guard[cursor].take() else { break };
+                        batch.push((cursor, result));
                         cursor += 1;
                     }
                     if !batch.is_empty() || cursor >= total || worker_died.load(Ordering::SeqCst)
@@ -118,7 +128,7 @@ where
                     }
                     let (g, _timeout) = ready
                         .wait_timeout(guard, Duration::from_millis(100))
-                        .unwrap();
+                        .unwrap_or_else(PoisonError::into_inner);
                     guard = g;
                 }
             }
@@ -130,7 +140,7 @@ where
             }
         }
     });
-    let built = *engines_built.lock().unwrap();
+    let built = *lock_recovering(&engines_built);
     built
 }
 

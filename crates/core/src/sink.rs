@@ -108,6 +108,7 @@ impl StreamSink {
             header_cols
                 .iter()
                 .position(|c| *c == name)
+                // welle-lint: allow(no-lib-unwrap) — invariant: the header is the crate's own TrialReport::csv_header() constant, which names every column looked up here
                 .expect("trial header names every summary column")
         };
         let (c_leaders, c_gave_up, c_messages, c_rounds) = (

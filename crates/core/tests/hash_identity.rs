@@ -1,0 +1,77 @@
+//! Fence for the hash-state determinism fixes: replacing the seeded-path
+//! `HashMap`/`HashSet` protocol state (`fwd_seen`, `proxy_counts`, the
+//! `TrailStore` map) with ordered containers must not change a single
+//! report byte. The pinned rows below were recorded *before* the swap;
+//! the proptest then holds the stronger invariant the swap exists to
+//! protect — full-report identity across repeated runs and executors on
+//! random graphs and seeds.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use welle_core::{Election, ElectionConfig, Exec};
+use welle_graph::GraphBuilder;
+
+fn random_connected(n: usize, extra: usize, seed: u64) -> Arc<welle_graph::Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for child in 1..n {
+        let parent = rand::RngExt::random_range(&mut rng, 0..child);
+        b.add_edge(parent, child).unwrap();
+    }
+    for _ in 0..extra {
+        let u = rand::RngExt::random_range(&mut rng, 0..n);
+        let v = rand::RngExt::random_range(&mut rng, 0..n);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v).unwrap();
+        }
+    }
+    Arc::new(b.build().unwrap())
+}
+
+fn run_row(g: &Arc<welle_graph::Graph>, seed: u64, exec: Exec) -> String {
+    let mut cfg = ElectionConfig::tuned_for_simulation(g.n());
+    cfg.max_walk_len = Some(64);
+    Election::on(g)
+        .config(cfg)
+        .seed(seed)
+        .executor(exec)
+        .run()
+        .unwrap()
+        .csv_row()
+}
+
+/// Golden rows recorded at the pre-fix tree (hash-based `fwd_seen`,
+/// `proxy_counts`, `TrailStore`). The ordered-container replacements
+/// must reproduce them byte for byte.
+#[test]
+fn pinned_reports_unchanged_by_hash_state_fix() {
+    let cases: [(usize, usize, u64, &str); 3] = [
+        (48, 40, 11, "48,84,12,1,4862562,55049,2724113,1279,1317,16,5,0,0,0,1317,true"),
+        (40, 24, 7, "40,63,16,1,2304460,100023,4761748,2957,2966,64,7,1,0,0,2966,true"),
+        (56, 60, 23, "56,113,19,1,9178418,147863,7624009,2860,2868,32,6,0,0,0,2868,true"),
+    ];
+    for (n, extra, seed, want) in cases {
+        let g = random_connected(n, extra, seed);
+        let got = run_row(&g, seed ^ 0x5EED, Exec::Serial);
+        assert_eq!(got, want, "report drifted for n={n} extra={extra} seed={seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The contract the ordered containers protect: the full report is a
+    /// pure function of (graph, seed), byte-identical across repeated
+    /// runs and across executors.
+    #[test]
+    fn full_report_identity(n in 24usize..56, extra in 8usize..64, seed in any::<u64>()) {
+        let g = random_connected(n, extra, seed);
+        let first = run_row(&g, seed ^ 0xF00D, Exec::Serial);
+        let again = run_row(&g, seed ^ 0xF00D, Exec::Serial);
+        prop_assert_eq!(&again, &first, "same-executor replay diverged");
+        let threaded = run_row(&g, seed ^ 0xF00D, Exec::Threaded(2));
+        prop_assert_eq!(&threaded, &first, "cross-executor replay diverged");
+    }
+}

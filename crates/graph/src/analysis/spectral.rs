@@ -36,6 +36,7 @@ impl Default for SpectralOptions {
 /// well-defined on all of `V`).
 pub fn stationary_distribution(g: &Graph) -> Option<Vec<f64>> {
     let two_m = g.volume() as f64;
+    // welle-lint: allow(no-float-eq) — exact-zero guard on an integer-valued volume cast; no arithmetic has touched it
     if two_m == 0.0 {
         return None;
     }
@@ -203,7 +204,7 @@ fn second_eigenvector_order(g: &Graph, opts: SpectralOptions) -> Option<Vec<usiz
         .nodes()
         .map(|u| x[u.index()] / (g.degree(u) as f64).sqrt())
         .collect();
-    order.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).expect("scores are finite"));
+    order.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
     Some(order)
 }
 

@@ -107,6 +107,7 @@ impl GraphBuilder {
                 .edges
                 .iter()
                 .position(|&(a, b)| Self::key(a, b) == key)
+                // welle-lint: allow(no-lib-unwrap) — invariant: `seen` and `edges` are mutated in lockstep by add_edge/remove_edge only
                 .expect("edge present in seen-set is present in list");
             self.edges.swap_remove(pos);
             true

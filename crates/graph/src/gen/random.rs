@@ -53,8 +53,8 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Grap
         let log1p = (1.0 - p).ln();
         let mut idx: usize = 0;
         loop {
-            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-            let skip = (u.ln() / log1p).floor() as usize;
+            let roll: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let skip = (roll.ln() / log1p).floor() as usize;
             idx = match idx.checked_add(skip) {
                 Some(i) => i,
                 None => break,

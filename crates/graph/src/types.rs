@@ -26,6 +26,7 @@ impl NodeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // welle-lint: allow(no-lib-unwrap) — documented `# Panics` contract: this is the sanctioned checked constructor
         NodeId(u32::try_from(index).expect("node index fits in u32"))
     }
 
@@ -78,6 +79,7 @@ impl Port {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // welle-lint: allow(no-lib-unwrap) — documented `# Panics` contract: this is the sanctioned checked constructor
         Port(u32::try_from(index).expect("port index fits in u32"))
     }
 
@@ -122,6 +124,7 @@ impl EdgeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // welle-lint: allow(no-lib-unwrap) — documented `# Panics` contract: this is the sanctioned checked constructor
         EdgeId(u32::try_from(index).expect("edge index fits in u32"))
     }
 

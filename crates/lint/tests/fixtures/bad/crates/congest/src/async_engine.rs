@@ -1,0 +1,15 @@
+// Known-bad fixture: raw arithmetic on tick/due schedule fields in an
+// executor file, where overflow must saturate instead of wrapping.
+pub struct Sched {
+    next_tick: u64,
+}
+
+impl Sched {
+    pub fn advance(&mut self, delta: u64) {
+        self.next_tick = self.next_tick + delta;
+    }
+
+    pub fn scale(&mut self, factor: u64) {
+        self.next_tick = self.next_tick * factor;
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture: malformed suppression pragmas. Both forms below
+// must surface as unsuppressible `invalid-pragma` findings.
+
+// welle-lint: allow(no-such-check) — the check name does not exist
+pub fn unknown_check() {}
+
+// welle-lint: allow(no-lib-unwrap)
+pub fn missing_justification(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: silent narrowing casts on index expressions.
+pub fn narrow(indices: &[usize]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &i in indices {
+        out.push(i as u32);
+    }
+    out
+}

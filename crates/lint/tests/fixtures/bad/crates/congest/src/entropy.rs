@@ -1,0 +1,7 @@
+// Known-bad fixture: ambient entropy sources outside the bench crate.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

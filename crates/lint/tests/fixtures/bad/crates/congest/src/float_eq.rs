@@ -1,0 +1,8 @@
+// Known-bad fixture: exact float comparison in a seeded path.
+pub fn converged(err: f64) -> bool {
+    err == 0.1
+}
+
+pub fn same(a: f64, b: f64) -> bool {
+    a != b
+}

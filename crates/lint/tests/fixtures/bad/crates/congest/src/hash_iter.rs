@@ -1,0 +1,22 @@
+// Known-bad fixture: iterating a HashMap / HashSet in a seeded crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Seen {
+    counts: HashMap<u64, u32>,
+    ids: HashSet<u64>,
+}
+
+impl Seen {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_k, v) in self.counts.iter() {
+            sum += v;
+        }
+        for id in &self.ids {
+            if *id % 2 == 0 {
+                sum += 1;
+            }
+        }
+        sum
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: unwrap / expect in non-test library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passed a number")
+}

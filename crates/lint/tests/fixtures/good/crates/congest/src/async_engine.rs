@@ -1,0 +1,16 @@
+// Known-good fixture: schedule arithmetic saturates, so a pathological
+// latency model parks an event at u64::MAX instead of wrapping to the
+// past.
+pub struct Sched {
+    next_tick: u64,
+}
+
+impl Sched {
+    pub fn advance(&mut self, delta: u64) {
+        self.next_tick = self.next_tick.saturating_add(delta);
+    }
+
+    pub fn scale(&mut self, factor: u64) {
+        self.next_tick = self.next_tick.saturating_mul(factor);
+    }
+}

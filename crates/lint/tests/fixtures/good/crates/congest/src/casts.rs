@@ -1,0 +1,7 @@
+// Known-good fixture: checked narrowing instead of a silent `as` cast.
+pub fn narrow(indices: &[usize]) -> Vec<u32> {
+    indices
+        .iter()
+        .map(|&i| u32::try_from(i).unwrap_or(u32::MAX))
+        .collect()
+}

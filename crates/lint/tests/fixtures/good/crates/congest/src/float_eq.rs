@@ -1,0 +1,9 @@
+// Known-good fixture: tolerance tests and total orderings instead of
+// exact float equality.
+pub fn converged(err: f64) -> bool {
+    err.abs() < 1e-12
+}
+
+pub fn same(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}

@@ -1,0 +1,22 @@
+// Known-good fixture: ordered containers make iteration deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Seen {
+    counts: BTreeMap<u64, u32>,
+    ids: BTreeSet<u64>,
+}
+
+impl Seen {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_k, v) in self.counts.iter() {
+            sum += v;
+        }
+        for id in &self.ids {
+            if *id % 2 == 0 {
+                sum += 1;
+            }
+        }
+        sum
+    }
+}

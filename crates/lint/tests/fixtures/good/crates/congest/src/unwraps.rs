@@ -1,0 +1,14 @@
+// Known-good fixture: fallible paths return errors or defaults; the one
+// true invariant carries a justified pragma and is counted as such.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    // welle-lint: allow(no-lib-unwrap) — invariant: callers construct `v` non-empty one line above every call site
+    *v.first().expect("constructed non-empty")
+}

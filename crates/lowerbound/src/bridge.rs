@@ -140,15 +140,19 @@ pub fn open_halves(db: &Dumbbell) -> (welle_graph::Graph, welle_graph::Graph) {
             continue;
         }
         if db.is_left(u) {
+            // welle-lint: allow(no-lib-unwrap) — invariant: endpoints come from a built graph, so indices are in range and edges are simple
             left.add_edge(u.index(), v.index()).expect("left edge valid");
         } else {
             right
                 .add_edge(u.index() - n0, v.index() - n0)
+                // welle-lint: allow(no-lib-unwrap) — invariant: endpoints come from a built graph, so indices are in range and edges are simple
                 .expect("right edge valid");
         }
     }
     (
+        // welle-lint: allow(no-lib-unwrap) — invariant: the dumbbell construction puts at least one non-bridge edge in each half
         left.build().expect("left half nonempty"),
+        // welle-lint: allow(no-lib-unwrap) — invariant: the dumbbell construction puts at least one non-bridge edge in each half
         right.build().expect("right half nonempty"),
     )
 }

@@ -55,6 +55,7 @@ pub fn probe_until_external<R: Rng + ?Sized>(
     ports.shuffle(rng);
     let messages = match strategy {
         ProbeStrategy::Sequential => {
+            // welle-lint: allow(no-lib-unwrap) — invariant: external_ports >= 1 by the §5 construction, so the shuffled vec contains a true entry
             ports.iter().position(|&ext| ext).expect("external exists") as u64 + 1
         }
         ProbeStrategy::UniformRandom => {
@@ -63,6 +64,7 @@ pub fn probe_until_external<R: Rng + ?Sized>(
             order
                 .iter()
                 .position(|&i| ports[i])
+                // welle-lint: allow(no-lib-unwrap) — invariant: external_ports >= 1 by the §5 construction, so the shuffled vec contains a true entry
                 .expect("external exists") as u64
                 + 1
         }

@@ -104,6 +104,7 @@ impl WalkFleetNode {
         let trail = self
             .trails
             .enter_epoch(ORIGIN_KEY, 0, self.walk_len)
+            // welle-lint: allow(no-lib-unwrap) — invariant: this protocol only ever runs epoch 0 with one fixed walk_len
             .expect("single epoch");
         trail.record_in(step, via);
         if remaining == 0 {
@@ -114,6 +115,7 @@ impl WalkFleetNode {
         if split.stay > 0 {
             self.trails
                 .enter_epoch(ORIGIN_KEY, 0, self.walk_len)
+                // welle-lint: allow(no-lib-unwrap) — invariant: this protocol only ever runs epoch 0 with one fixed walk_len
                 .expect("single epoch")
                 .record_out(step, Hop::Stay);
             self.pending_stays.push((remaining - 1, split.stay));
@@ -123,6 +125,7 @@ impl WalkFleetNode {
         for (port, cnt) in split.moves {
             self.trails
                 .enter_epoch(ORIGIN_KEY, 0, self.walk_len)
+                // welle-lint: allow(no-lib-unwrap) — invariant: this protocol only ever runs epoch 0 with one fixed walk_len
                 .expect("single epoch")
                 .record_out(step, Hop::Via(port));
             ctx.send(

@@ -13,7 +13,7 @@
 //! Trails store sparse `(step, hop)` pairs: memory is proportional to the
 //! number of distinct passages, not to the walk length.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use welle_graph::Port;
 
@@ -170,9 +170,12 @@ pub enum ReverseRoute {
 /// of an older epoch are replaced when the origin starts a new epoch;
 /// finalized trails persist for the rest of the execution (their origin
 /// stopped and keeps its proxies).
+///
+/// Ordered map: [`TrailStore::iter`] walks the store, and seeded-path
+/// iteration order must be deterministic (`welle-lint: no-hash-iter`).
 #[derive(Clone, Debug, Default)]
 pub struct TrailStore {
-    trails: HashMap<u64, Trail>,
+    trails: BTreeMap<u64, Trail>,
 }
 
 impl TrailStore {

@@ -14,6 +14,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let g = Arc::new(gen::random_regular(n, 4, &mut rng).unwrap());
     let iters = 300;
+    // welle-lint: allow(no-ambient-entropy) — wall-clock timing for human-facing profiling output only; never feeds protocol state
     let t0 = Instant::now();
     for _ in 0..iters {
         let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
@@ -22,6 +23,7 @@ fn main() {
     }
     println!("serial     {:8} ns", t0.elapsed().as_nanos() / iters);
     for threads in [1usize, 2, 4, 8] {
+        // welle-lint: allow(no-ambient-entropy) — wall-clock timing for human-facing profiling output only; never feeds protocol state
         let t0 = Instant::now();
         for _ in 0..iters {
             let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
