@@ -1,7 +1,10 @@
 //! Engine micro-benchmarks: round throughput of the CONGEST simulator
 //! under a dense flood workload — serial vs threaded, plus the async
 //! executor at zero latency (the cost of the tick bookkeeping alone)
-//! and under a sampled model (the cost of the event heap).
+//! and under a sampled model (the cost of the event heap), and the
+//! serial engine with the telemetry layer on (full sample retention,
+//! and full retention plus the span profiler) to price the
+//! once-per-round observability branch against the telemetry-off rows.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -9,7 +12,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use welle_congest::testing::FloodMax;
-use welle_congest::{AsyncEngine, Engine, EngineConfig, LatencyModel, ThreadedEngine};
+use welle_congest::{
+    AsyncEngine, Engine, EngineConfig, LatencyModel, TelemetryConfig, ThreadedEngine,
+};
 use welle_graph::gen;
 
 fn bench_flood(c: &mut Criterion) {
@@ -33,6 +38,26 @@ fn bench_flood(c: &mut Criterion) {
                     ThreadedEngine::new(Arc::clone(&g), nodes, EngineConfig::default(), 4);
                 black_box(e.run(100_000));
                 black_box(e.metrics().messages)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial_telem_full", n), &n, |b, _| {
+            b.iter(|| {
+                let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
+                let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+                e.set_telemetry(TelemetryConfig::full());
+                black_box(e.run(100_000));
+                let report = e.take_telemetry();
+                black_box((e.metrics().messages, report.map(|r| r.total_samples)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial_telem_profile", n), &n, |b, _| {
+            b.iter(|| {
+                let nodes = (0..n).map(|i| FloodMax::new(i as u64)).collect();
+                let mut e = Engine::new(Arc::clone(&g), nodes, EngineConfig::default());
+                e.set_telemetry(TelemetryConfig::full().with_profile());
+                black_box(e.run(100_000));
+                let report = e.take_telemetry();
+                black_box((e.metrics().messages, report.map(|r| r.total_samples)))
             })
         });
         group.bench_with_input(BenchmarkId::new("async_zero", n), &n, |b, _| {

@@ -31,6 +31,7 @@ use crate::faults::{CompiledFaultPlan, FaultError, FaultPlan};
 use crate::latency::{LatencyModel, LatencyState, TICKS_PER_ROUND};
 use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
 use crate::protocol::{Protocol, Signal};
+use crate::telemetry::{SpanStage, TelemetryConfig, TelemetryReport};
 
 /// Deterministic event-driven executor of the *asynchronous* CONGEST
 /// model, parameterized by a [`LatencyModel`].
@@ -113,6 +114,20 @@ impl<P: Protocol> AsyncEngine<P> {
     /// [`Engine::set_compiled_faults`]).
     pub fn set_compiled_faults(&mut self, plan: &CompiledFaultPlan) {
         self.core.set_compiled_faults(plan)
+    }
+
+    /// Installs the telemetry layer; see [`Engine::set_telemetry`].
+    /// Under [`LatencyModel::zero`] the recorded sample stream is
+    /// bit-identical to the round engines' (parked-heap depth and
+    /// virtual-tick included) — part of the equivalence contract.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.core.set_telemetry(cfg)
+    }
+
+    /// Removes the telemetry layer and returns everything it recorded;
+    /// see [`Engine::take_telemetry`].
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.core.take_telemetry()
     }
 
     /// The simulated network.
@@ -236,7 +251,18 @@ impl<P: Protocol> AsyncEngine<P> {
     fn step_core<O: TransmitObserver + ?Sized>(&mut self, obs: &mut O) {
         let core = &mut self.core;
         let lat = &mut self.lat;
+        // Telemetry mirrors the round engine exactly (see
+        // `Engine::step_core`): one take, one restore, per round.
+        let mut tel = core.telemetry.take();
+        let t_round = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Round));
+
+        let t_cb = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Callbacks));
+        let acts_before = core.activations;
         let any_activity = core.protocol_phase();
+        let callbacks_run = core.activations - acts_before;
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Callbacks, t_cb, callbacks_run);
+        }
 
         let mut batch = std::mem::take(&mut core.deliveries);
         core.queues.transmit_into(&mut batch);
@@ -252,6 +278,8 @@ impl<P: Protocol> AsyncEngine<P> {
             .saturating_mul(TICKS_PER_ROUND);
         let transmitted =
             !batch.is_empty() || !pending.is_empty() || lat.due_now(horizon);
+        let t_deliver = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Deliver));
+        let flow;
         {
             let mut tx = Transmitter::new(
                 &core.graph,
@@ -269,21 +297,49 @@ impl<P: Protocol> AsyncEngine<P> {
                     inbox_active.push(v.raw());
                 }
             };
+            let t_lh = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::LatencyHeap));
             tx.release_latent(lat, compiled, obs, &mut sink);
+            if let Some(t) = tel.as_deref_mut() {
+                // Events: heap releases delivered before this round's
+                // own crossings.
+                t.end(SpanStage::LatencyHeap, t_lh, tx.delivered_so_far());
+            }
             for (dir, msg) in batch.drain(..) {
                 tx.deliver_head_latent(lat, compiled, dir as usize, msg, obs, &mut sink);
             }
             for (dir, msg) in pending.drain(..) {
                 tx.offer_latent(lat, compiled, dir as usize, msg, obs, &mut sink);
             }
-            tx.finish(&mut core.metrics);
+            flow = tx.finish(&mut core.metrics);
+        }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         core.faults = faults;
         core.deliveries = batch;
         core.pending = pending;
         if any_activity || transmitted {
             core.metrics.active_rounds += 1;
+            if let Some(t) = tel.as_deref_mut() {
+                // The parked-heap depth: under the zero model the
+                // latency heap holds exactly the messages the round
+                // engine's fault-delay heap would (same park and release
+                // rounds), so the streams agree byte for byte.
+                let parked = lat.parked() as u64;
+                t.end_round(
+                    core.round,
+                    core.phase_seen.take(),
+                    callbacks_run,
+                    &flow,
+                    parked,
+                    horizon,
+                );
+            }
         }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Round, t_round, callbacks_run + flow.messages);
+        }
+        core.telemetry = tel;
         core.round += 1;
     }
 }

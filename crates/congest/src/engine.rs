@@ -14,6 +14,7 @@ use crate::message::Payload;
 use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
 use crate::queues::EdgeQueues;
+use crate::telemetry::{RoundFlow, SpanStage, TelemetryConfig, TelemetryReport, TelemetryState};
 
 /// Engine-wide configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +131,16 @@ pub struct Engine<P: Protocol> {
     /// the delivery loop on the exact fault-free fast path (the branch
     /// is taken once per round, not per message).
     pub(crate) faults: Option<Box<FaultState<P::Msg>>>,
+    /// Installed telemetry, if any — the same single-branch-per-round
+    /// design as `faults`: `None` keeps the hot path untouched.
+    pub(crate) telemetry: Option<Box<TelemetryState>>,
+    /// Maximum phase tag published (via [`Protocol::phase_tag`]) by the
+    /// callbacks of the round in progress; drained into the telemetry
+    /// sample at round end.
+    pub(crate) phase_seen: Option<u8>,
+    /// Monotone count of protocol callbacks executed (crashed nodes
+    /// excluded); per-round deltas give a sample's `active_nodes`.
+    pub(crate) activations: u64,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -161,6 +172,9 @@ impl<P: Protocol> Engine<P> {
             pending: Vec::new(),
             last_carried: vec![u64::MAX; graph.directed_edge_count()],
             faults: None,
+            telemetry: None,
+            phase_seen: None,
+            activations: 0,
             graph,
             cfg,
             nodes,
@@ -209,6 +223,25 @@ impl<P: Protocol> Engine<P> {
     /// worker threads.
     pub(crate) fn compiled_faults(&self) -> Option<Arc<CompiledFaults>> {
         self.faults.as_ref().map(|f| Arc::clone(&f.compiled))
+    }
+
+    /// Installs the telemetry layer (see [`crate::TelemetryConfig`]):
+    /// every *active* round simulated from now on appends one
+    /// [`crate::RoundSample`] and updates the per-phase aggregates.
+    /// Replaces (and discards) any previously installed telemetry.
+    /// Install before the first `run`/`step` call to cover the whole
+    /// execution; without this call the engine pays a single null check
+    /// per round and allocates nothing.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.phase_seen = None;
+        self.telemetry = Some(Box::new(TelemetryState::new(cfg)));
+    }
+
+    /// Removes the telemetry layer and returns everything it recorded,
+    /// or `None` when [`Engine::set_telemetry`] was never called (or the
+    /// report was already taken).
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.telemetry.take().map(|t| t.into_report())
     }
 
     /// Creates an engine with protocols built per node index.
@@ -263,6 +296,9 @@ impl<P: Protocol> Engine<P> {
         self.last_carried.clear();
         self.last_carried.resize(dcount, u64::MAX);
         self.faults = None;
+        self.telemetry = None;
+        self.phase_seen = None;
+        self.activations = 0;
         self.graph = graph;
         self.cfg = cfg;
     }
@@ -434,7 +470,18 @@ impl<P: Protocol> Engine<P> {
 
     /// Monomorphic single-round step (see [`Engine::run_core`] for why).
     fn step_core<O: TransmitObserver + ?Sized>(&mut self, obs: &mut O) {
+        // Telemetry mirrors the fault layer: taken once per round, so a
+        // run without it pays exactly one null check and nothing else.
+        let mut tel = self.telemetry.take();
+        let t_round = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Round));
+
+        let t_cb = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Callbacks));
+        let acts_before = self.activations;
         let any_activity = self.protocol_phase();
+        let callbacks_run = self.activations - acts_before;
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Callbacks, t_cb, callbacks_run);
+        }
 
         // Transmission phase: one message per active directed edge.
         // Backlogged edges deliver their queue head first; then the
@@ -447,6 +494,8 @@ impl<P: Protocol> Engine<P> {
         let transmitted = !batch.is_empty()
             || !pending.is_empty()
             || faults.as_ref().is_some_and(|f| f.due_now(self.round));
+        let t_deliver = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Deliver));
+        let flow;
         {
             let mut tx = Transmitter::new(
                 &self.graph,
@@ -476,6 +525,7 @@ impl<P: Protocol> Engine<P> {
                     }
                 }
                 Some(fs) => {
+                    let t_ff = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::FaultFilter));
                     tx.release_due(fs, obs, &mut sink);
                     for (dir, msg) in batch.drain(..) {
                         tx.deliver_head_faulty(fs, dir as usize, msg, obs, &mut sink);
@@ -483,16 +533,39 @@ impl<P: Protocol> Engine<P> {
                     for (dir, msg) in pending.drain(..) {
                         tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
                     }
+                    if let Some(t) = tel.as_deref_mut() {
+                        // Events: every crossing the filter inspected.
+                        t.end(SpanStage::FaultFilter, t_ff, tx.delivered_msgs + tx.dropped_msgs);
+                    }
                 }
             }
-            tx.finish(&mut self.metrics);
+            flow = tx.finish(&mut self.metrics);
+        }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         self.faults = faults;
         self.deliveries = batch;
         self.pending = pending;
         if any_activity || transmitted {
             self.metrics.active_rounds += 1;
+            if let Some(t) = tel.as_deref_mut() {
+                let parked = self.faults.as_ref().map_or(0, |f| f.parked()) as u64;
+                let tick = self.round.saturating_add(1).saturating_mul(TICKS_PER_ROUND);
+                t.end_round(
+                    self.round,
+                    self.phase_seen.take(),
+                    callbacks_run,
+                    &flow,
+                    parked,
+                    tick,
+                );
+            }
         }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Round, t_round, callbacks_run + flow.messages);
+        }
+        self.telemetry = tel;
         self.round += 1;
     }
 
@@ -571,6 +644,7 @@ impl<P: Protocol> Engine<P> {
                 return;
             }
         }
+        self.activations += 1;
         let u = NodeId::new(i);
         let degree = self.graph.degree(u);
         let n = self.graph.n();
@@ -612,6 +686,14 @@ impl<P: Protocol> Engine<P> {
             } else {
                 self.done_count -= 1;
             }
+        }
+        // The phase-observer pull (see `Protocol::phase_tag`): merge by
+        // maximum so the per-round reduction is order-free.
+        if let Some(tag) = self.nodes[i].phase_tag() {
+            self.phase_seen = Some(match self.phase_seen {
+                Some(cur) => cur.max(tag),
+                None => tag,
+            });
         }
     }
 }
@@ -918,12 +1000,25 @@ impl<'a, M: Payload> Transmitter<'a, M> {
         sink(info.dst, info.dst_port, msg);
     }
 
-    /// Folds the accumulated counters into `metrics`.
-    pub(crate) fn finish(self, metrics: &mut Metrics) {
+    /// Messages delivered so far this round (for span event counts).
+    pub(crate) fn delivered_so_far(&self) -> u64 {
+        self.delivered_msgs
+    }
+
+    /// Folds the accumulated counters into `metrics` and returns them as
+    /// this round's flow, for the telemetry layer (ignored when
+    /// telemetry is off).
+    pub(crate) fn finish(self, metrics: &mut Metrics) -> RoundFlow {
         metrics.messages += self.delivered_msgs;
         metrics.bits += self.delivered_bits;
         metrics.dropped_messages += self.dropped_msgs;
         metrics.max_edge_backlog = metrics.max_edge_backlog.max(self.max_backlog_seen);
+        RoundFlow {
+            messages: self.delivered_msgs,
+            bits: self.delivered_bits,
+            dropped: self.dropped_msgs,
+            max_backlog: self.max_backlog_seen as u64,
+        }
     }
 }
 

@@ -58,6 +58,7 @@ mod message;
 mod metrics;
 mod protocol;
 mod queues;
+mod telemetry;
 mod threaded;
 mod trace;
 
@@ -87,5 +88,9 @@ pub use latency::{LatencyDist, LatencyError, LatencyModel};
 pub use message::{bits_for, id_bits, Payload};
 pub use metrics::{Metrics, NoopObserver, RecordingObserver, TransmitEvent, TransmitObserver};
 pub use protocol::{Context, Protocol, Signal};
+pub use telemetry::{
+    PhaseTotals, Retention, RoundSample, SpanStage, SpanStats, TelemetryConfig, TelemetryReport,
+    SPAN_STAGES,
+};
 pub use threaded::ThreadedEngine;
 pub use trace::Trace;

@@ -62,6 +62,26 @@ pub trait Protocol: Send {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// The phase-observer hook: the protocol's current phase, as a small
+    /// ordered tag, for telemetry attribution. After every callback the
+    /// engine pulls this value and merges the tags seen in the round by
+    /// **maximum** — an order-free reduction, so all executors agree —
+    /// and the merged tag labels the round's
+    /// [`RoundSample`](crate::RoundSample) and phase aggregates.
+    ///
+    /// # Contract
+    ///
+    /// The tag must be a pure function of the node's protocol state
+    /// (never of wall-clock or ambient randomness), and should be
+    /// monotone within the window being attributed: nodes of a
+    /// phase-structured protocol are expected to agree on the tag up to
+    /// the one-round skew of a transition. Default: `None` (the
+    /// protocol is phase-less; rounds fall into the unattributed
+    /// bucket).
+    fn phase_tag(&self) -> Option<u8> {
+        None
+    }
 }
 
 /// Per-invocation execution context handed to protocol callbacks.

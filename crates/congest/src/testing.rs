@@ -2,11 +2,19 @@
 //! examples of the [`crate::Protocol`] interface). They are `pub` because
 //! downstream crates reuse them in integration tests and benchmarks.
 
-use welle_graph::Port;
+use std::sync::Arc;
 
+use welle_graph::{Graph, Port};
+
+use crate::async_engine::AsyncEngine;
+use crate::engine::{Engine, EngineConfig, RunOutcome};
 use crate::exec::Exec;
+use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
 use crate::protocol::{Context, Protocol};
+use crate::telemetry::{TelemetryConfig, TelemetryReport};
+use crate::threaded::ThreadedEngine;
 
 /// Every concrete executor choice a cross-executor equivalence check
 /// should cover, labelled for assertion messages: the serial engine
@@ -21,6 +29,133 @@ pub fn all_execs() -> [(&'static str, Exec); 4] {
         ("threaded3", Exec::Threaded(3)),
         ("async0", Exec::Async(LatencyModel::zero())),
     ]
+}
+
+/// One executor's view of a run driven by [`run_everywhere`].
+#[derive(Clone, Debug)]
+pub struct ExecRun {
+    /// Label from [`all_execs`].
+    pub name: &'static str,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Final traffic metrics.
+    pub metrics: Metrics,
+    /// Everything the telemetry layer recorded, when one was installed.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// Runs `make`-built protocols on every executor of [`all_execs`] under
+/// the same `(graph, cfg, faults, telemetry)` and collects each run's
+/// outcome, final [`Metrics`], and [`TelemetryReport`]. Multi-worker
+/// thread pools are forced through the sharded barrier path
+/// (`inline_cutoff = 0`) so the check exercises the real parallel code
+/// even on single-core CI hosts.
+pub fn run_everywhere<P: Protocol>(
+    graph: &Arc<Graph>,
+    cfg: EngineConfig,
+    faults: Option<&FaultPlan>,
+    telemetry: Option<TelemetryConfig>,
+    round_limit: u64,
+    make: impl Fn(usize) -> P,
+) -> Vec<ExecRun> {
+    let mut runs = Vec::new();
+    for (name, exec) in all_execs() {
+        let nodes: Vec<P> = (0..graph.n()).map(&make).collect();
+        let (outcome, metrics, report) = match exec {
+            Exec::Serial => {
+                let mut e = Engine::new(Arc::clone(graph), nodes, cfg);
+                if let Some(plan) = faults {
+                    // welle-lint: allow(no-lib-unwrap) — test-support harness: a misfitting plan is a broken test, and panicking is its assertion mechanism
+                    e.set_fault_plan(plan).expect("fault plan fits the graph");
+                }
+                if let Some(tcfg) = telemetry {
+                    e.set_telemetry(tcfg);
+                }
+                let out = e.run(round_limit);
+                (out, e.metrics().clone(), e.take_telemetry())
+            }
+            Exec::Threaded(k) => {
+                let mut e = ThreadedEngine::new(Arc::clone(graph), nodes, cfg, k);
+                if k > 1 {
+                    e.set_inline_cutoff(0);
+                }
+                if let Some(plan) = faults {
+                    // welle-lint: allow(no-lib-unwrap) — test-support harness: a misfitting plan is a broken test, and panicking is its assertion mechanism
+                    e.set_fault_plan(plan).expect("fault plan fits the graph");
+                }
+                if let Some(tcfg) = telemetry {
+                    e.set_telemetry(tcfg);
+                }
+                let out = e.run(round_limit);
+                (out, e.metrics().clone(), e.take_telemetry())
+            }
+            Exec::Async(model) => {
+                let mut e = AsyncEngine::new(Arc::clone(graph), nodes, cfg, model);
+                if let Some(plan) = faults {
+                    // welle-lint: allow(no-lib-unwrap) — test-support harness: a misfitting plan is a broken test, and panicking is its assertion mechanism
+                    e.set_fault_plan(plan).expect("fault plan fits the graph");
+                }
+                if let Some(tcfg) = telemetry {
+                    e.set_telemetry(tcfg);
+                }
+                let out = e.run(round_limit);
+                (out, e.metrics().clone(), e.take_telemetry())
+            }
+            Exec::Auto => unreachable!("all_execs never yields Auto"),
+        };
+        runs.push(ExecRun {
+            name,
+            outcome,
+            metrics,
+            telemetry: report,
+        });
+    }
+    runs
+}
+
+/// Cross-executor equality fence: drives [`run_everywhere`] and asserts
+/// every executor reproduces the serial oracle's outcome, its full
+/// [`Metrics`] (message/bit totals, per-node counts, `active_rounds`,
+/// `max_edge_backlog`, drop/crash counters), and — when telemetry is
+/// installed — its exact sample stream, sample count, and per-phase
+/// totals. Span profiles are *not* compared: which stages an executor
+/// enters is executor-specific by design. Returns the serial run for
+/// further assertions.
+///
+/// # Panics
+///
+/// Panics (assertion failure) on any divergence.
+pub fn assert_all_execs_agree<P: Protocol>(
+    graph: &Arc<Graph>,
+    cfg: EngineConfig,
+    faults: Option<&FaultPlan>,
+    telemetry: Option<TelemetryConfig>,
+    round_limit: u64,
+    make: impl Fn(usize) -> P,
+) -> ExecRun {
+    let mut runs = run_everywhere(graph, cfg, faults, telemetry, round_limit, make).into_iter();
+    // welle-lint: allow(no-lib-unwrap) — test-support harness: all_execs always lists the serial oracle first
+    let oracle = runs.next().expect("all_execs is non-empty");
+    assert_eq!(oracle.name, "serial", "first executor must be the oracle");
+    for run in runs {
+        let what = run.name;
+        assert_eq!(oracle.outcome, run.outcome, "{what}: run outcome");
+        assert_eq!(oracle.metrics, run.metrics, "{what}: metrics");
+        match (&oracle.telemetry, &run.telemetry) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.samples, b.samples, "{what}: telemetry samples");
+                assert_eq!(a.total_samples, b.total_samples, "{what}: sample count");
+                assert_eq!(a.phases, b.phases, "{what}: phase totals");
+            }
+            (a, b) => panic!(
+                "{what}: telemetry presence diverged (oracle: {}, {what}: {})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+    oracle
 }
 
 /// Classic flooding of the maximum id: on learning a larger id, forward it

@@ -33,6 +33,7 @@ use crate::engine::{Engine, EngineConfig, RunOutcome, Transmitter};
 use crate::faults::{CompiledFaultPlan, CompiledFaults, FaultError, FaultPlan};
 use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
+use crate::telemetry::{SpanStage, TelemetryConfig, TelemetryReport};
 
 /// Worker command: simulate one round (`on_round` phase).
 const CMD_ROUND: u8 = 0;
@@ -85,6 +86,13 @@ struct Shard<P: Protocol> {
     /// Whether any protocol callback ran in the last phase.
     ran: bool,
     todo: Vec<u32>,
+    /// Callbacks run since the counter was last drained (crashed nodes
+    /// excluded) — the shard's share of a telemetry sample's
+    /// `active_nodes`. Drained by the merge phase when telemetry is on.
+    calls: u64,
+    /// Maximum phase tag pulled (via [`Protocol::phase_tag`]) since the
+    /// last drain; merged across shards by the merge phase.
+    phase_seen: Option<u8>,
 }
 
 impl<P: Protocol> Shard<P> {
@@ -142,6 +150,7 @@ impl<P: Protocol> Shard<P> {
                 return;
             }
         }
+        self.calls += 1;
         let u = NodeId::new(self.base + local);
         let mut wake = None;
         let sent;
@@ -182,6 +191,14 @@ impl<P: Protocol> Shard<P> {
             } else {
                 self.done_count -= 1;
             }
+        }
+        // The phase-observer pull, mirroring the serial engine's
+        // `run_callback` (max-merge: order-free across shards too).
+        if let Some(tag) = self.nodes[local].phase_tag() {
+            self.phase_seen = Some(match self.phase_seen {
+                Some(cur) => cur.max(tag),
+                None => tag,
+            });
         }
     }
 }
@@ -292,6 +309,19 @@ impl<P: Protocol> ThreadedEngine<P> {
     /// [`Engine::set_compiled_faults`].
     pub fn set_compiled_faults(&mut self, plan: &CompiledFaultPlan) {
         self.inner.set_compiled_faults(plan)
+    }
+
+    /// Installs the telemetry layer; see [`Engine::set_telemetry`]. The
+    /// recorded sample stream is bit-identical to the serial engine's
+    /// for any thread count or inline cutoff.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.inner.set_telemetry(cfg)
+    }
+
+    /// Removes the telemetry layer and returns everything it recorded;
+    /// see [`Engine::take_telemetry`].
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        self.inner.take_telemetry()
     }
 
     /// Overrides the per-shard callback-count cutoff below which a
@@ -472,6 +502,18 @@ impl<P: Protocol> ThreadedEngine<P> {
                 }
                 let starting = !self.inner.started;
                 self.inner.started = true;
+                let t_round = self
+                    .inner
+                    .telemetry
+                    .as_deref_mut()
+                    .and_then(|t| t.begin(SpanStage::Round));
+                // From the coordinator's view the callback span covers
+                // the whole protocol phase — barrier crossings included.
+                let t_cb = self
+                    .inner
+                    .telemetry
+                    .as_deref_mut()
+                    .and_then(|t| t.begin(SpanStage::Callbacks));
                 // Upper bound on the callbacks this round will run.
                 let work = if starting {
                     n
@@ -514,7 +556,17 @@ impl<P: Protocol> ThreadedEngine<P> {
                         guard.run_phase(&env, starting, self.inner.round);
                     }
                 }
-                agg = self.merge_and_transmit(&mut guards, starting, obs);
+                let mut callbacks_run = 0u64;
+                if self.inner.telemetry.is_some() {
+                    for guard in guards.iter_mut() {
+                        callbacks_run += guard.calls;
+                        guard.calls = 0;
+                    }
+                    if let Some(t) = self.inner.telemetry.as_deref_mut() {
+                        t.end(SpanStage::Callbacks, t_cb, callbacks_run);
+                    }
+                }
+                agg = self.merge_and_transmit(&mut guards, starting, obs, callbacks_run, t_round);
                 drop(guards);
                 self.inner.round += 1;
             }
@@ -582,6 +634,8 @@ impl<P: Protocol> ThreadedEngine<P> {
         shards: &mut [impl DerefMut<Target = Shard<P>>],
         starting: bool,
         obs: &mut O,
+        callbacks_run: u64,
+        t_round: Option<std::time::Instant>,
     ) -> RoundAgg {
         let shard_len = shards[0].nodes.len().max(1);
         let mut any_activity = starting;
@@ -598,6 +652,9 @@ impl<P: Protocol> ThreadedEngine<P> {
             || !pending.is_empty()
             || faults.as_ref().is_some_and(|f| f.due_now(self.inner.round));
         let mut inbox_total = 0usize;
+        let mut tel = self.inner.telemetry.take();
+        let t_deliver = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Deliver));
+        let flow;
         {
             let mut tx = Transmitter::new(
                 &self.inner.graph,
@@ -637,6 +694,12 @@ impl<P: Protocol> ThreadedEngine<P> {
             // the backlog otherwise.
             for s in 0..views.len() {
                 any_activity |= views[s].ran;
+                if let Some(tag) = views[s].phase_seen.take() {
+                    self.inner.phase_seen = Some(match self.inner.phase_seen {
+                        Some(cur) => cur.max(tag),
+                        None => tag,
+                    });
+                }
                 let base = views[s].base;
                 while let Some((local, cnt)) = views[s].sent_log.pop() {
                     self.inner.metrics.sent_by_node[base + local as usize] += cnt as u64;
@@ -660,7 +723,10 @@ impl<P: Protocol> ThreadedEngine<P> {
                 }
                 views[s].outbox = outbox; // recycle the allocation
             }
-            tx.finish(&mut self.inner.metrics);
+            flow = tx.finish(&mut self.inner.metrics);
+        }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         self.inner.faults = faults;
         self.inner.deliveries = batch;
@@ -668,7 +734,27 @@ impl<P: Protocol> ThreadedEngine<P> {
 
         if any_activity || transmitted {
             self.inner.metrics.active_rounds += 1;
+            if let Some(t) = tel.as_deref_mut() {
+                let parked = self.inner.faults.as_ref().map_or(0, |f| f.parked()) as u64;
+                let tick = self
+                    .inner
+                    .round
+                    .saturating_add(1)
+                    .saturating_mul(crate::latency::TICKS_PER_ROUND);
+                t.end_round(
+                    self.inner.round,
+                    self.inner.phase_seen.take(),
+                    callbacks_run,
+                    &flow,
+                    parked,
+                    tick,
+                );
+            }
         }
+        if let Some(t) = tel.as_deref_mut() {
+            t.end(SpanStage::Round, t_round, callbacks_run + flow.messages);
+        }
+        self.inner.telemetry = tel;
 
         RoundAgg {
             inbox_total,
@@ -710,6 +796,8 @@ impl<P: Protocol> ThreadedEngine<P> {
                 next_wake: None,
                 ran: false,
                 todo: Vec::new(),
+                calls: 0,
+                phase_seen: None,
             });
         }
         shards.reverse();

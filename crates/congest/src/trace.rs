@@ -1,8 +1,12 @@
 //! Bounded execution traces for debugging protocols: a ring buffer of
-//! transmission events with query helpers. Attachable anywhere a
-//! [`TransmitObserver`] is accepted.
+//! transmission events with query helpers and a JSONL export. Attachable
+//! anywhere a [`TransmitObserver`] is accepted — it doubles as the
+//! bounded-retention backend of the event exporter (the telemetry
+//! layer's [`RoundSample`](crate::RoundSample) stream covers rounds;
+//! this covers individual transmissions).
 
 use std::collections::VecDeque;
+use std::io::{self, Write};
 
 use welle_graph::{EdgeId, NodeId};
 
@@ -69,6 +73,43 @@ impl Trace {
             .collect()
     }
 
+    /// Writes every retained event as one JSON object per line (JSONL),
+    /// oldest first. All fields are deterministic, so two equivalent
+    /// runs export byte-identical streams.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying writer.
+    pub fn to_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        self.to_jsonl_rounds(w, 0, u64::MAX)
+    }
+
+    /// [`Trace::to_jsonl`] restricted to events of the round range
+    /// `[from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying writer.
+    pub fn to_jsonl_rounds(&self, w: &mut impl Write, from: u64, to: u64) -> io::Result<()> {
+        for e in self.events.iter().filter(|e| e.round >= from && e.round < to) {
+            writeln!(
+                w,
+                concat!(
+                    "{{\"round\":{},\"from\":{},\"from_port\":{},",
+                    "\"to\":{},\"to_port\":{},\"edge\":{},\"bits\":{}}}"
+                ),
+                e.round,
+                e.from.raw(),
+                e.from_port.raw(),
+                e.to.raw(),
+                e.to_port.raw(),
+                e.edge.raw(),
+                e.bits,
+            )?;
+        }
+        Ok(())
+    }
+
     /// Renders the retained tail as one line per event (debugging aid).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -130,6 +171,28 @@ mod tests {
         assert_eq!(t.on_edge(EdgeId::new(1)).len(), 1);
         assert_eq!(t.in_rounds(1, 3).len(), 2);
         assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn jsonl_export_is_deterministic_and_filterable() {
+        let mut t = Trace::with_capacity(10);
+        t.on_transmit(&ev(0, 0, 1, 0));
+        t.on_transmit(&ev(1, 1, 2, 1));
+        t.on_transmit(&ev(2, 2, 0, 2));
+        let mut all = Vec::new();
+        t.to_jsonl(&mut all).unwrap();
+        let text = String::from_utf8(all).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let first = text.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"round\":0,\"from\":0,\"from_port\":0,\"to\":1,\"to_port\":0,\"edge\":0,\"bits\":8}"
+        );
+        let mut mid = Vec::new();
+        t.to_jsonl_rounds(&mut mid, 1, 2).unwrap();
+        let mid = String::from_utf8(mid).unwrap();
+        assert_eq!(mid.lines().count(), 1);
+        assert!(mid.contains("\"round\":1"));
     }
 
     #[test]

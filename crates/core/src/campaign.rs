@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use welle_congest::{FaultPlan, NoopObserver, TransmitObserver};
+use welle_congest::{FaultPlan, NoopObserver, TelemetryConfig, TransmitObserver};
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params};
@@ -168,6 +168,15 @@ pub struct CampaignSummary {
     pub messages: Stats,
     /// Engine-round statistics across trials.
     pub rounds: Stats,
+    /// Mean per-phase engine rounds across trials, indexed by
+    /// [`Phase::tag`](crate::config::Phase::tag) order (walk, r1, r2,
+    /// r3, wait). All zero unless
+    /// the campaign ran with [`Campaign::telemetry`] (or resumed from a
+    /// manifest written by one).
+    pub phase_rounds_mean: [f64; 5],
+    /// Max per-phase engine rounds across trials, same indexing as
+    /// [`CampaignSummary::phase_rounds_mean`].
+    pub phase_rounds_max: [u64; 5],
 }
 
 impl CampaignSummary {
@@ -183,14 +192,17 @@ impl CampaignSummary {
     /// The CSV column names matching [`CampaignSummary::csv_row`].
     pub fn csv_header() -> &'static str {
         "scenario,n,m,trials,successes,no_leader,multi_leader,gave_up,\
-         msgs_min,msgs_median,msgs_max,rounds_min,rounds_median,rounds_max"
+         msgs_min,msgs_median,msgs_max,rounds_min,rounds_median,rounds_max,\
+         walk_rounds_mean,r1_rounds_mean,r2_rounds_mean,r3_rounds_mean,wait_rounds_mean,\
+         walk_rounds_max,r1_rounds_max,r2_rounds_max,r3_rounds_max,wait_rounds_max"
     }
 
     /// This summary as one CSV row. The scenario label is
     /// RFC-4180-quoted (see [`crate::csv::escape`]), so comma-bearing
     /// labels cannot corrupt the column structure.
     pub fn csv_row(&self) -> String {
-        format!(
+        use std::fmt::Write as _;
+        let mut row = format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             crate::csv::escape(&self.scenario),
             self.n,
@@ -206,7 +218,14 @@ impl CampaignSummary {
             self.rounds.min,
             self.rounds.median,
             self.rounds.max,
-        )
+        );
+        for v in self.phase_rounds_mean {
+            let _ = write!(row, ",{v}");
+        }
+        for v in self.phase_rounds_max {
+            let _ = write!(row, ",{v}");
+        }
+        row
     }
 }
 
@@ -293,6 +312,7 @@ pub struct Campaign<'o> {
     budget: Option<usize>,
     sink_path: Option<PathBuf>,
     resume: bool,
+    telem: Option<TelemetryConfig>,
     obs: Option<&'o mut dyn TransmitObserver>,
     on_trial: Option<TrialHook<'o>>,
 }
@@ -307,10 +327,19 @@ struct Acc {
     gave_up: usize,
     messages: Vec<u64>,
     rounds: Vec<u64>,
+    phase_rounds_sum: [u64; 5],
+    phase_rounds_max: [u64; 5],
 }
 
 impl Acc {
-    fn absorb(&mut self, leaders: usize, gave_up: usize, messages: u64, rounds: u64) {
+    fn absorb(
+        &mut self,
+        leaders: usize,
+        gave_up: usize,
+        messages: u64,
+        rounds: u64,
+        phase_rounds: [u64; 5],
+    ) {
         match leaders {
             0 => self.no_leader += 1,
             1 => self.successes += 1,
@@ -319,20 +348,33 @@ impl Acc {
         self.gave_up += gave_up;
         self.messages.push(messages);
         self.rounds.push(rounds);
+        for (i, &r) in phase_rounds.iter().enumerate() {
+            self.phase_rounds_sum[i] += r;
+            self.phase_rounds_max[i] = self.phase_rounds_max[i].max(r);
+        }
     }
 
     fn into_summary(mut self, s: &Scenario) -> CampaignSummary {
+        let trials = self.messages.len();
+        let mut phase_rounds_mean = [0.0f64; 5];
+        if trials > 0 {
+            for (mean, &sum) in phase_rounds_mean.iter_mut().zip(&self.phase_rounds_sum) {
+                *mean = sum as f64 / trials as f64;
+            }
+        }
         CampaignSummary {
             scenario: s.label.clone(),
             n: s.graph.n(),
             m: s.graph.m(),
-            trials: self.messages.len(),
+            trials,
             successes: self.successes,
             no_leader: self.no_leader,
             multi_leader: self.multi_leader,
             gave_up: self.gave_up,
             messages: Stats::of(&mut self.messages),
             rounds: Stats::of(&mut self.rounds),
+            phase_rounds_mean,
+            phase_rounds_max: self.phase_rounds_max,
         }
     }
 }
@@ -351,6 +393,7 @@ impl<'o> Campaign<'o> {
             exec,
             believed_n,
             faults,
+            telem,
             obs,
         } = proto;
         Campaign {
@@ -367,9 +410,22 @@ impl<'o> Campaign<'o> {
             budget: None,
             sink_path: None,
             resume: false,
+            telem,
             obs,
             on_trial: None,
         }
+    }
+
+    /// Records per-round telemetry for every trial (see
+    /// [`Election::telemetry`]). Each trial's [`ElectionReport`] carries
+    /// its phase tables, the per-scenario summaries aggregate mean/max
+    /// per-phase rounds, and the streamed CSV's phase columns become
+    /// non-zero. [`Retention::Ring`](welle_congest::Retention)`(0)`
+    /// keeps the aggregates without retaining any per-round samples —
+    /// the usual choice for large sweeps.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telem = Some(cfg);
+        self
     }
 
     /// Runs the campaign's trials on a work-stealing pool of `k`
@@ -554,6 +610,7 @@ impl<'o> Campaign<'o> {
             budget,
             sink_path,
             resume,
+            telem,
             mut obs,
             mut on_trial,
         } = self;
@@ -618,7 +675,7 @@ impl<'o> Campaign<'o> {
         let mut accs: Vec<Acc> = scenarios.iter().map(|_| Acc::default()).collect();
         for (i, p) in resumed.iter().enumerate() {
             let (si, _) = order[i];
-            accs[si].absorb(p.leaders, p.gave_up, p.messages, p.rounds);
+            accs[si].absorb(p.leaders, p.gave_up, p.messages, p.rounds, p.phase_rounds);
         }
 
         let mut trials: Vec<Trial> = Vec::with_capacity(stop_at - start);
@@ -639,6 +696,7 @@ impl<'o> Campaign<'o> {
                 trial.report.gave_up,
                 trial.report.messages,
                 trial.report.engine_rounds,
+                trial.report.phase_rounds,
             );
             if sink_err.is_none() {
                 if let Some(s) = sink.as_mut() {
@@ -663,6 +721,7 @@ impl<'o> Campaign<'o> {
                         params,
                         seed,
                         faults.as_ref(),
+                        telem,
                         &mut NoopObserver,
                     ),
                     other => run_resolved(
@@ -671,6 +730,7 @@ impl<'o> Campaign<'o> {
                         *other,
                         seed,
                         faults.as_ref(),
+                        telem,
                         &mut NoopObserver,
                     ),
                 }
@@ -689,7 +749,7 @@ impl<'o> Campaign<'o> {
                 };
                 let report = match plan {
                     ExecPlan::Serial => {
-                        pool.run(&scenarios[si].graph, params, seed, faults.as_ref(), o)
+                        pool.run(&scenarios[si].graph, params, seed, faults.as_ref(), telem, o)
                     }
                     other => run_resolved(
                         &scenarios[si].graph,
@@ -697,6 +757,7 @@ impl<'o> Campaign<'o> {
                         *other,
                         seed,
                         faults.as_ref(),
+                        telem,
                         o,
                     ),
                 };

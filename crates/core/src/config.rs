@@ -140,6 +140,10 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in segment order — the telemetry layer's bucket
+    /// order for per-phase tables.
+    pub const ALL: [Phase; 5] = [Phase::Walk, Phase::R1, Phase::R2, Phase::R3, Phase::Wait];
+
     /// Phase from a global segment index (5 per epoch).
     pub fn of_segment(seg: u64) -> Phase {
         match seg % 5 {
@@ -148,6 +152,36 @@ impl Phase {
             2 => Phase::R2,
             3 => Phase::R3,
             _ => Phase::Wait,
+        }
+    }
+
+    /// The stable numeric tag published through
+    /// [`Protocol::phase_tag`](welle_congest::Protocol::phase_tag):
+    /// the phase's position in the segment cycle, so
+    /// `Phase::of_segment(s).tag() == (s % 5) as u8`.
+    pub fn tag(self) -> u8 {
+        match self {
+            Phase::Walk => 0,
+            Phase::R1 => 1,
+            Phase::R2 => 2,
+            Phase::R3 => 3,
+            Phase::Wait => 4,
+        }
+    }
+
+    /// Inverse of [`Phase::tag`]; `None` for tags outside `0..5`.
+    pub fn from_tag(tag: u8) -> Option<Phase> {
+        Phase::ALL.get(tag as usize).copied()
+    }
+
+    /// Short human-readable name (phase-table and round-log output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Walk => "walk",
+            Phase::R1 => "r1",
+            Phase::R2 => "r2",
+            Phase::R3 => "r3",
+            Phase::Wait => "wait",
         }
     }
 }
@@ -395,6 +429,18 @@ mod tests {
         assert_eq!(Phase::of_segment(3), Phase::R3);
         assert_eq!(Phase::of_segment(4), Phase::Wait);
         assert_eq!(Phase::of_segment(5), Phase::Walk);
+    }
+
+    #[test]
+    fn phase_tags_round_trip_in_segment_order() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.tag() as usize, i);
+            assert_eq!(Phase::from_tag(p.tag()), Some(p));
+            assert_eq!(Phase::of_segment(i as u64), p);
+            assert!(!p.name().is_empty());
+        }
+        assert_eq!(Phase::from_tag(5), None);
+        assert_eq!(Phase::from_tag(255), None);
     }
 
     #[test]

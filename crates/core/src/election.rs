@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use welle_congest::{FaultPlan, NoopObserver, TransmitObserver};
+use welle_congest::{FaultPlan, NoopObserver, TelemetryConfig, TransmitObserver};
 use welle_graph::Graph;
 
 use crate::config::{ElectionConfig, Params};
@@ -45,6 +45,7 @@ pub struct Election<'g, 'o> {
     pub(crate) exec: Exec,
     pub(crate) believed_n: Option<usize>,
     pub(crate) faults: Option<FaultPlan>,
+    pub(crate) telem: Option<TelemetryConfig>,
     pub(crate) obs: Option<&'o mut dyn TransmitObserver>,
 }
 
@@ -60,6 +61,7 @@ impl<'g, 'o> Election<'g, 'o> {
             exec: Exec::Auto,
             believed_n: None,
             faults: None,
+            telem: None,
             obs: None,
         }
     }
@@ -101,6 +103,18 @@ impl<'g, 'o> Election<'g, 'o> {
         self
     }
 
+    /// Records per-round telemetry during the run (sample stream, phase
+    /// tables, optional span profile — see [`TelemetryConfig`]). The
+    /// resulting [`ElectionReport`] carries the recorded
+    /// [`TelemetryReport`](welle_congest::TelemetryReport) plus
+    /// per-phase round/message totals; the sample stream is identical on
+    /// every executor. Without this call the report's phase columns are
+    /// zero and `telemetry` is `None`.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telem = Some(cfg);
+        self
+    }
+
     /// Derives parameters as if the network had `n` nodes, regardless of
     /// the actual graph size — the §5 "n is not known" experiments run
     /// a dumbbell where every node believes it lives on one half.
@@ -132,6 +146,7 @@ impl<'g, 'o> Election<'g, 'o> {
             exec,
             believed_n,
             faults,
+            telem,
             obs,
         } = self;
         let n = believed_n.unwrap_or_else(|| graph.n());
@@ -147,7 +162,15 @@ impl<'g, 'o> Election<'g, 'o> {
             Some(o) => o,
             None => &mut noop,
         };
-        Ok(run_resolved(graph, params, plan, seed, compiled.as_ref(), obs))
+        Ok(run_resolved(
+            graph,
+            params,
+            plan,
+            seed,
+            compiled.as_ref(),
+            telem,
+            obs,
+        ))
     }
 }
 

@@ -95,6 +95,7 @@ mod state;
 pub mod baselines;
 pub mod broadcast;
 pub mod csv;
+pub mod export;
 
 pub use campaign::{
     default_trial_threads, set_default_trial_threads, Campaign, CampaignReport, CampaignSummary,
@@ -106,5 +107,8 @@ pub use error::ConfigError;
 pub use msg::{ElectionMsg, FwdItem, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
 pub use runner::ElectionReport;
-pub use welle_congest::{FaultError, FaultPlan, LatencyDist, LatencyError, LatencyModel};
+pub use welle_congest::{
+    FaultError, FaultPlan, LatencyDist, LatencyError, LatencyModel, PhaseTotals, Retention,
+    RoundSample, SpanStage, SpanStats, TelemetryConfig, TelemetryReport,
+};
 pub use state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};

@@ -58,6 +58,13 @@ pub struct ElectionNode {
     /// Next unfired global segment index.
     seg_idx: u64,
     cur_epoch: u32,
+    /// Phase of the most recently fired segment — published through
+    /// [`Protocol::phase_tag`] for the telemetry layer. Segment firing
+    /// is driven by the shared round clock (FixedT) or the broadcast
+    /// advance signal (Adaptive), so every node that fires in a round
+    /// publishes the same phase regardless of executor or callback
+    /// order.
+    cur_phase: Phase,
     stats: NodeStats,
 }
 
@@ -79,6 +86,7 @@ impl ElectionNode {
             winner_relayed_as_proxy: false,
             seg_idx: 0,
             cur_epoch: 0,
+            cur_phase: Phase::Walk,
             stats: NodeStats::default(),
         }
     }
@@ -163,6 +171,7 @@ impl ElectionNode {
     fn fire_segment(&mut self, ctx: &mut Context<'_, ElectionMsg>, seg: u64) {
         let epoch = (seg / 5) as u32;
         self.cur_epoch = epoch;
+        self.cur_phase = Phase::of_segment(seg);
         match Phase::of_segment(seg) {
             Phase::Walk => self.begin_epoch(ctx, epoch),
             Phase::R1 => self.emit_r1(ctx, epoch),
@@ -664,6 +673,10 @@ impl Protocol for ElectionNode {
 
     fn is_done(&self) -> bool {
         self.decided.is_some()
+    }
+
+    fn phase_tag(&self) -> Option<u8> {
+        Some(self.cur_phase.tag())
     }
 }
 

@@ -5,11 +5,11 @@ use std::sync::Arc;
 
 use welle_congest::{
     AsyncEngine, CompiledFaultPlan, Engine, EngineConfig, Exec, Executor, LatencyModel,
-    RunOutcome, ThreadedEngine, TransmitObserver,
+    RunOutcome, TelemetryConfig, TelemetryReport, ThreadedEngine, TransmitObserver,
 };
 use welle_graph::Graph;
 
-use crate::config::{ElectionConfig, Params, SyncMode};
+use crate::config::{ElectionConfig, Params, Phase, SyncMode};
 use crate::error::ConfigError;
 use crate::protocol::{ElectionNode, SIGNAL_ADVANCE};
 use crate::state::Decision;
@@ -99,6 +99,20 @@ pub struct ElectionReport {
     /// synchronous executors and under the zero-latency async model;
     /// stretched past it when deliveries complete late.
     pub virtual_time: f64,
+    /// Active rounds attributed to each election phase (indexed by
+    /// [`Phase::tag`]: walk, r1, r2, r3, wait), from the run's
+    /// telemetry layer. All zeros unless the run enabled telemetry
+    /// ([`Election::telemetry`](crate::Election::telemetry)) — phase
+    /// attribution costs one branch per round, so it stays opt-in.
+    pub phase_rounds: [u64; 5],
+    /// Messages attributed to each election phase (same indexing and
+    /// opt-in as [`ElectionReport::phase_rounds`]).
+    pub phase_messages: [u64; 5],
+    /// The full telemetry report (per-round samples, phase table, span
+    /// profile) when the run enabled telemetry; `None` otherwise. The
+    /// stream is bit-identical across executors — only
+    /// [`SpanStats::wall_ns`](welle_congest::SpanStats) varies.
+    pub telemetry: Option<TelemetryReport>,
     /// Why the engine stopped.
     pub outcome: RunOutcome,
 }
@@ -109,11 +123,15 @@ impl ElectionReport {
         self.leaders.len() == 1
     }
 
-    /// The CSV column names matching [`ElectionReport::csv_row`].
+    /// The CSV column names matching [`ElectionReport::csv_row`]. The
+    /// ten `*_rounds`/`*_msgs` columns carry the per-phase breakdown
+    /// ([`ElectionReport::phase_rounds`] / `phase_messages`) and are
+    /// zero when the run did not enable telemetry.
     pub fn csv_header() -> &'static str {
         "n,m,contenders,leaders,leader_id,messages,bits,decided_round,\
          engine_rounds,final_walk_len,epochs_used,gave_up,dropped,crashed,\
-         virtual_time,success"
+         virtual_time,walk_rounds,r1_rounds,r2_rounds,r3_rounds,wait_rounds,\
+         walk_msgs,r1_msgs,r2_msgs,r3_msgs,wait_msgs,success"
     }
 
     /// This report as one CSV row (columns per
@@ -124,8 +142,9 @@ impl ElectionReport {
     /// string column must be routed through [`crate::csv::escape`] like
     /// the scenario labels in [`Trial::csv_row`](crate::Trial::csv_row).
     pub fn csv_row(&self) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        use std::fmt::Write as _;
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.n,
             self.m,
             self.contenders,
@@ -141,8 +160,13 @@ impl ElectionReport {
             self.dropped_messages,
             self.crashed,
             self.virtual_time,
-            self.is_success(),
-        )
+        );
+        for v in self.phase_rounds.iter().chain(self.phase_messages.iter()) {
+            // Writing to a String cannot fail.
+            let _ = write!(row, ",{v}");
+        }
+        let _ = write!(row, ",{}", self.is_success());
+        row
     }
 }
 
@@ -159,6 +183,7 @@ pub(crate) fn run_resolved(
     plan: ExecPlan,
     seed: u64,
     faults: Option<&CompiledFaultPlan>,
+    telem: Option<TelemetryConfig>,
     obs: &mut dyn TransmitObserver,
 ) -> ElectionReport {
     let engine_cfg = EngineConfig {
@@ -174,8 +199,12 @@ pub(crate) fn run_resolved(
             if let Some(plan) = faults {
                 engine.set_compiled_faults(plan);
             }
+            if let Some(tcfg) = telem {
+                engine.set_telemetry(tcfg);
+            }
             let outcome = drive(&mut engine, &params, &cfg, obs);
-            summarize(&engine, outcome)
+            let recorded = engine.take_telemetry();
+            summarize(&engine, outcome, recorded)
         }
         ExecPlan::Threaded(k) => {
             let mut engine = ThreadedEngine::from_fn(Arc::clone(graph), engine_cfg, k, |_| {
@@ -184,8 +213,12 @@ pub(crate) fn run_resolved(
             if let Some(plan) = faults {
                 engine.set_compiled_faults(plan);
             }
+            if let Some(tcfg) = telem {
+                engine.set_telemetry(tcfg);
+            }
             let outcome = drive(&mut engine, &params, &cfg, obs);
-            summarize(&engine, outcome)
+            let recorded = engine.take_telemetry();
+            summarize(&engine, outcome, recorded)
         }
         ExecPlan::Async(model) => {
             let mut engine =
@@ -195,8 +228,12 @@ pub(crate) fn run_resolved(
             if let Some(plan) = faults {
                 engine.set_compiled_faults(plan);
             }
+            if let Some(tcfg) = telem {
+                engine.set_telemetry(tcfg);
+            }
             let outcome = drive(&mut engine, &params, &cfg, obs);
-            summarize(&engine, outcome)
+            let recorded = engine.take_telemetry();
+            summarize(&engine, outcome, recorded)
         }
     }
 }
@@ -230,6 +267,7 @@ impl PooledEngine {
         params: &Arc<Params>,
         seed: u64,
         faults: Option<&CompiledFaultPlan>,
+        telem: Option<TelemetryConfig>,
         obs: &mut dyn TransmitObserver,
     ) -> ElectionReport {
         let engine_cfg = EngineConfig {
@@ -251,9 +289,15 @@ impl PooledEngine {
         if let Some(plan) = faults {
             engine.set_compiled_faults(plan);
         }
+        if let Some(tcfg) = telem {
+            engine.set_telemetry(tcfg);
+        }
         let cfg = params.cfg;
         let outcome = drive(engine, params, &cfg, obs);
-        summarize(engine, outcome)
+        // Taken unconditionally: a reused engine must never leak one
+        // trial's telemetry into the next.
+        let recorded = engine.take_telemetry();
+        summarize(engine, outcome, recorded)
     }
 
     /// See [`Engine::arena_capacity`].
@@ -289,7 +333,11 @@ fn drive<E: Executor<ElectionNode>>(
     }
 }
 
-fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> ElectionReport {
+fn summarize<E: Executor<ElectionNode>>(
+    engine: &E,
+    outcome: RunOutcome,
+    telemetry: Option<TelemetryReport>,
+) -> ElectionReport {
     let graph = engine.graph();
     let mut contenders = 0usize;
     let mut leaders = Vec::new();
@@ -334,6 +382,20 @@ fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> Elec
         leader_id = None;
     }
 
+    // Bucket the telemetry phase table into the report's fixed arrays.
+    // ElectionNode publishes a phase from round 0 on, so every sample
+    // lands in a `Some(tag)` bucket with `tag < 5`.
+    let mut phase_rounds = [0u64; 5];
+    let mut phase_messages = [0u64; 5];
+    if let Some(t) = &telemetry {
+        for &(tag, totals) in &t.phases {
+            if let Some(p) = tag.and_then(Phase::from_tag) {
+                phase_rounds[p.tag() as usize] += totals.rounds;
+                phase_messages[p.tag() as usize] += totals.messages;
+            }
+        }
+    }
+
     ElectionReport {
         n: graph.n(),
         m: graph.m(),
@@ -352,6 +414,9 @@ fn summarize<E: Executor<ElectionNode>>(engine: &E, outcome: RunOutcome) -> Elec
         dropped_tokens,
         broken_routes,
         virtual_time: engine.virtual_time(),
+        phase_rounds,
+        phase_messages,
+        telemetry,
         outcome,
     }
 }
@@ -465,9 +530,16 @@ mod tests {
         let mut noop = welle_congest::NoopObserver;
         let mut grown = 0usize;
         for seed in [1u64, 2, 3, 1] {
-            let pooled = pool.run(&g, &params, seed, None, &mut noop);
-            let fresh =
-                run_resolved(&g, Arc::clone(&params), ExecPlan::Serial, seed, None, &mut noop);
+            let pooled = pool.run(&g, &params, seed, None, None, &mut noop);
+            let fresh = run_resolved(
+                &g,
+                Arc::clone(&params),
+                ExecPlan::Serial,
+                seed,
+                None,
+                None,
+                &mut noop,
+            );
             assert_eq!(pooled.leaders, fresh.leaders, "seed {seed}");
             assert_eq!(pooled.messages, fresh.messages, "seed {seed}");
             assert_eq!(pooled.bits, fresh.bits, "seed {seed}");

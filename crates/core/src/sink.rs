@@ -27,6 +27,9 @@ pub(crate) struct ParsedTrial {
     pub(crate) gave_up: usize,
     pub(crate) messages: u64,
     pub(crate) rounds: u64,
+    /// Per-phase engine rounds in [`Phase::tag`](crate::Phase::tag)
+    /// order — zero in manifests written without telemetry.
+    pub(crate) phase_rounds: [u64; 5],
 }
 
 /// An open, append-positioned trial-row stream.
@@ -117,6 +120,13 @@ impl StreamSink {
             col("messages"),
             col("engine_rounds"),
         );
+        let c_phase_rounds = [
+            col("walk_rounds"),
+            col("r1_rounds"),
+            col("r2_rounds"),
+            col("r3_rounds"),
+            col("wait_rounds"),
+        ];
 
         let mut parsed = Vec::new();
         let mut kept = String::with_capacity(text.len());
@@ -150,11 +160,16 @@ impl StreamSink {
                     .parse::<u64>()
                     .map_err(|_| mismatch(format!("row {}: bad {} value", i + 1, header_cols[c])))
             };
+            let mut phase_rounds = [0u64; 5];
+            for (slot, &c) in phase_rounds.iter_mut().zip(&c_phase_rounds) {
+                *slot = num(c)?;
+            }
             parsed.push(ParsedTrial {
                 leaders: num(c_leaders)? as usize,
                 gave_up: num(c_gave_up)? as usize,
                 messages: num(c_messages)?,
                 rounds: num(c_rounds)?,
+                phase_rounds,
             });
             kept.push_str(row);
             kept.push('\n');

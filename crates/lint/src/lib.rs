@@ -30,6 +30,15 @@
 //! suppressed. `vendor/`, `target/`, `tests/` directories and
 //! `#[cfg(test)]` / `#[test]` regions are skipped entirely.
 //!
+//! One check is stricter still: inside the seeded crates,
+//! `allow(no-ambient-entropy)` pragmas are honored **only** in the
+//! designated profiler module ([`PROFILER_MODULE`]) — the one seeded
+//! file sanctioned to read wall-clock time, because its nanoseconds
+//! live in a separate report field and never feed simulation state. A
+//! justified-looking pragma on an `Instant::now` anywhere else in a
+//! seeded crate is ignored and the finding stands: ambient time cannot
+//! be laundered into the deterministic paths one pragma at a time.
+//!
 //! Run it with `cargo run -p welle-lint -- --check` (CI does); see
 //! [`scan_root`] for the library entry point.
 
@@ -81,6 +90,21 @@ const SEEDED_SCOPES: [&str; 4] = [
     "crates/walks/src",
     "crates/graph/src",
 ];
+
+/// The one seeded-path source sanctioned to read wall-clock time: the
+/// telemetry span profiler, whose nanoseconds are reported in a
+/// dedicated field (`SpanStats::wall_ns`) and never influence the
+/// simulation. `allow(no-ambient-entropy)` pragmas inside seeded crates
+/// take effect only here (see [`ambient_pragma_allowed`]).
+pub const PROFILER_MODULE: &str = "crates/congest/src/telemetry.rs";
+
+/// Whether an `allow(no-ambient-entropy)` pragma may take effect in
+/// `rel`: yes in the designated [`PROFILER_MODULE`] and outside the
+/// seeded crates (examples, binaries — human-facing timing), never
+/// elsewhere within a seeded crate.
+pub fn ambient_pragma_allowed(rel: &str) -> bool {
+    rel == PROFILER_MODULE || !SEEDED_SCOPES.iter().any(|p| rel.starts_with(p))
+}
 
 impl Check {
     /// The kebab-case name used in diagnostics and pragmas.
@@ -492,7 +516,11 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Finding>, BTreeMap<&'static str
     let mut suppressed: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut findings: Vec<Finding> = Vec::new();
     for f in raw {
-        let justified = pragmas.iter().any(|p| {
+        // Ambient-time suppressions are scope-locked: a pragma cannot
+        // excuse wall-clock reads in a seeded crate outside the one
+        // sanctioned profiler module.
+        let scope_ok = f.check != Check::NoAmbientEntropy || ambient_pragma_allowed(rel);
+        let justified = scope_ok && pragmas.iter().any(|p| {
             p.checks.contains(&f.check)
                 && !p.justification.is_empty()
                 && if p.trailing {
@@ -626,6 +654,32 @@ mod tests {
         assert!(inside.is_empty(), "{inside:?}");
         let (outside, _) = scan_source("crates/core/src/x.rs", src);
         assert_eq!(outside.len(), 1);
+    }
+
+    #[test]
+    fn ambient_pragmas_only_work_in_the_profiler_module() {
+        let src = "// welle-lint: allow(no-ambient-entropy) — looks justified\n\
+                   let t = Instant::now();";
+        // The designated profiler module may justify wall-clock reads…
+        let (prof, sup) = scan_source(super::PROFILER_MODULE, src);
+        assert!(prof.is_empty(), "{prof:?}");
+        assert_eq!(sup.get("no-ambient-entropy"), Some(&1));
+        // …other seeded-crate files cannot, however well-worded the
+        // pragma: the finding stands.
+        for rel in [
+            "crates/congest/src/engine.rs",
+            "crates/core/src/runner.rs",
+            "crates/walks/src/lib.rs",
+        ] {
+            let (f, sup) = scan_source(rel, src);
+            assert_eq!(f.len(), 1, "{rel}: {f:?}");
+            assert_eq!(f[0].check, "no-ambient-entropy", "{rel}");
+            assert_eq!(sup.get("no-ambient-entropy"), None, "{rel}");
+        }
+        // Outside the seeded crates (examples, binaries) the ordinary
+        // pragma rules apply.
+        let (ex, _) = scan_source("examples/profile.rs", src);
+        assert!(ex.is_empty(), "{ex:?}");
     }
 
     #[test]

@@ -111,6 +111,17 @@ fn good_fixture_scans_clean_with_one_justified_pragma() {
         1,
         "expected exactly one justified no-lib-unwrap suppression"
     );
+    // The profiler-module fixture's ambient-time pragma is honored —
+    // the one sanctioned seeded-path wall-clock site.
+    assert_eq!(
+        report
+            .suppressed
+            .get("no-ambient-entropy")
+            .copied()
+            .unwrap_or(0),
+        1,
+        "expected exactly one justified no-ambient-entropy suppression"
+    );
 }
 
 #[test]

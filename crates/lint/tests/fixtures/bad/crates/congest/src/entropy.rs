@@ -5,3 +5,10 @@ pub fn stamp() -> u128 {
     let t0 = Instant::now();
     t0.elapsed().as_nanos()
 }
+
+// A well-worded pragma cannot launder wall-clock reads into a seeded
+// crate outside the sanctioned profiler module: this must still fire.
+pub fn laundered() -> Instant {
+    // welle-lint: allow(no-ambient-entropy) — sounds plausible, is not the profiler module
+    Instant::now()
+}

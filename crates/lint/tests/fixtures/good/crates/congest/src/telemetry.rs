@@ -1,0 +1,8 @@
+// Known-good fixture: the designated profiler module is the one seeded
+// source where a justified ambient-time pragma takes effect.
+use std::time::Instant;
+
+pub fn span_start(profiling: bool) -> Option<Instant> {
+    // welle-lint: allow(no-ambient-entropy) — profiler wall-clock: reported in a dedicated field, never fed back into simulation state
+    profiling.then(Instant::now)
+}

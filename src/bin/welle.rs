@@ -20,8 +20,10 @@ use std::sync::Arc;
 use rand::{rngs::StdRng, SeedableRng};
 use welle::core::baselines::{run_flood_max, run_hirschberg_sinclair, run_known_tmix_election};
 use welle::core::broadcast::run_explicit_election;
+use welle::core::export::{phase_table, profile_table, write_round_log, write_samples_jsonl};
 use welle::core::{
-    Campaign, Election, ElectionConfig, Exec, FaultPlan, LatencyModel, MsgSizeMode, SyncMode, Trial,
+    Campaign, Election, ElectionConfig, Exec, FaultPlan, LatencyModel, MsgSizeMode, SyncMode,
+    TelemetryConfig, Trial,
 };
 use welle::graph::{gen, Graph};
 use welle::walks::{mixing_time, MixingOptions, StartPolicy};
@@ -46,6 +48,9 @@ struct Args {
     resume: bool,
     max_trials: Option<usize>,
     drop_sweep: Option<Vec<f64>>,
+    round_log: Option<PathBuf>,
+    phase_table: bool,
+    profile: bool,
     baseline: Option<String>,
     drop_rate: Option<f64>,
     crash: Option<f64>,
@@ -81,6 +86,13 @@ fn usage() -> &'static str {
                          finish later with --resume)\n\
        --drop-sweep P,.. sweep message drop rates: one scenario per rate\n\
                          (0 = fault-free control)\n\
+       --round-log FILE  write the run's per-round telemetry stream to\n\
+                         FILE — CSV, or JSONL when FILE ends in .jsonl\n\
+                         (single trial only; identical on every executor)\n\
+       --phase-table     print the per-phase round/message breakdown for\n\
+                         each trial (stderr under --csv)\n\
+       --profile         profile the engine's internal stages and print\n\
+                         the span table per trial (stderr under --csv)\n\
        --csv             per-trial CSV rows on stdout instead of\n\
                          human-readable lines\n\
        --explicit        run explicit election (adds push-pull broadcast)\n\
@@ -154,6 +166,9 @@ fn parse() -> Result<Args, String> {
         resume: false,
         max_trials: None,
         drop_sweep: None,
+        round_log: None,
+        phase_table: false,
+        profile: false,
         baseline: None,
         drop_rate: None,
         crash: None,
@@ -287,6 +302,13 @@ fn parse() -> Result<Args, String> {
                         .map_err(|_| "bad fault seed")?,
                 );
             }
+            "--round-log" => {
+                i += 1;
+                args.round_log =
+                    Some(PathBuf::from(argv.get(i).ok_or("--round-log needs a value")?));
+            }
+            "--phase-table" => args.phase_table = true,
+            "--profile" => args.profile = true,
             "--fixed-t" => args.fixed_t = true,
             "--large" => args.large = true,
             "--csv" => args.csv = true,
@@ -367,6 +389,26 @@ fn parse() -> Result<Args, String> {
     }
     if args.resume && args.out.is_none() {
         return Err("--resume needs --out (the CSV file is the resume manifest)".to_string());
+    }
+    if args.explicit && (args.round_log.is_some() || args.phase_table || args.profile) {
+        return Err(
+            "telemetry options (--round-log/--phase-table/--profile) are not supported \
+             with --explicit"
+                .to_string(),
+        );
+    }
+    if args.round_log.is_some() && (args.seeds != 1 || args.drop_sweep.is_some()) {
+        return Err(
+            "--round-log records one run's stream; it needs --seeds 1 and no --drop-sweep"
+                .to_string(),
+        );
+    }
+    if args.round_log.is_some() && args.resume {
+        return Err(
+            "--round-log cannot be combined with --resume (a resumed trial's \
+             per-round stream was never persisted)"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -497,6 +539,20 @@ fn main() -> ExitCode {
             proto = proto.faults(plan);
         }
         let mut campaign = Campaign::new(proto).label(args.family.clone());
+        // Any telemetry flag turns the layer on; full retention is only
+        // needed when the sample stream itself leaves the process.
+        let want_telemetry = args.round_log.is_some() || args.phase_table || args.profile;
+        if want_telemetry {
+            let mut tcfg = if args.round_log.is_some() {
+                TelemetryConfig::full()
+            } else {
+                TelemetryConfig::ring(0)
+            };
+            if args.profile {
+                tcfg = tcfg.with_profile();
+            }
+            campaign = campaign.telemetry(tcfg);
+        }
         // Fault-free scenarios drive the exit code; sweep scenarios with
         // drops are *expected* to lose some elections, so they only report.
         let mut strict_labels: Vec<String> = Vec::new();
@@ -585,6 +641,61 @@ fn main() -> ExitCode {
                 "stopped after {finished} of {planned} trials (--max-trials); \
                  rerun with --resume to finish"
             );
+        }
+        // Human-readable telemetry tables: stdout normally, stderr under
+        // --csv so the trial stream stays machine-pure.
+        let tprint = |text: &str| {
+            if args.csv {
+                eprint!("{text}");
+            } else {
+                print!("{text}");
+            }
+        };
+        if args.phase_table || args.profile {
+            for t in &outcome.trials {
+                if args.phase_table {
+                    tprint(&format!(
+                        "phase breakdown (seed {}):\n{}",
+                        t.seed,
+                        phase_table(&t.report)
+                    ));
+                }
+                if args.profile {
+                    if let Some(table) = t.report.telemetry.as_ref().and_then(profile_table) {
+                        tprint(&format!("profile (seed {}):\n{table}", t.seed));
+                    }
+                }
+            }
+        }
+        if let Some(path) = &args.round_log {
+            match outcome.trials.first().and_then(|t| t.report.telemetry.as_ref()) {
+                Some(telemetry) => {
+                    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+                    let written = std::fs::File::create(path).and_then(|f| {
+                        let mut w = std::io::BufWriter::new(f);
+                        if jsonl {
+                            write_samples_jsonl(telemetry, &mut w)
+                        } else {
+                            write_round_log(telemetry, &mut w)
+                        }
+                    });
+                    match written {
+                        Ok(()) => eprintln!(
+                            "round log: {} samples -> {}",
+                            telemetry.samples.len(),
+                            path.display()
+                        ),
+                        Err(e) => {
+                            eprintln!("error: cannot write {}: {e}", path.display());
+                            ok = false;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("error: the run produced no telemetry for --round-log");
+                    ok = false;
+                }
+            }
         }
         let show_summaries = args.seeds > 1 || outcome.summaries.len() > 1;
         for summary in &outcome.summaries {

@@ -39,6 +39,13 @@ fn assert_identical(a: &ElectionReport, b: &ElectionReport, what: &str) {
     assert_eq!(a.dropped_tokens, b.dropped_tokens, "{what}: dropped_tokens");
     assert_eq!(a.broken_routes, b.broken_routes, "{what}: broken_routes");
     assert_eq!(a.virtual_time, b.virtual_time, "{what}: virtual_time");
+    assert_eq!(a.phase_rounds, b.phase_rounds, "{what}: phase_rounds");
+    assert_eq!(a.phase_messages, b.phase_messages, "{what}: phase_messages");
+    assert_eq!(
+        a.telemetry.is_some(),
+        b.telemetry.is_some(),
+        "{what}: telemetry presence"
+    );
     assert_eq!(a.outcome, b.outcome, "{what}: outcome");
 }
 
