@@ -159,8 +159,19 @@ impl<P: Protocol> AsyncEngine<P> {
     /// Messages queued for transmission or parked on the event heap, not
     /// yet delivered. Termination detection waits for this to hit zero —
     /// a parked high-latency message keeps the run alive.
-    pub fn in_flight(&self) -> usize {
-        self.core.in_flight() + self.lat.parked()
+    pub fn in_flight(&self) -> u64 {
+        self.core.in_flight().saturating_add(self.lat.parked() as u64)
+    }
+
+    /// Caps the transmission scratch; see [`Engine::set_transmit_chunk`].
+    pub fn set_transmit_chunk(&mut self, limit: usize) {
+        self.core.set_transmit_chunk(limit);
+    }
+
+    /// Peak queued-message population of the underlying edge queues
+    /// (parked heap messages excluded); see [`Engine::peak_arena_slots`].
+    pub fn peak_arena_slots(&self) -> u64 {
+        self.core.peak_arena_slots()
     }
 
     /// Virtual time elapsed, in rounds: the later of the round clock and
@@ -264,20 +275,20 @@ impl<P: Protocol> AsyncEngine<P> {
             t.end(SpanStage::Callbacks, t_cb, callbacks_run);
         }
 
-        let mut batch = std::mem::take(&mut core.deliveries);
-        core.queues.transmit_into(&mut batch);
+        let mut scratch = std::mem::take(&mut core.deliveries);
         let mut pending = std::mem::take(&mut core.pending);
         // The compiled fault schedule rides the core's fault state, but
         // its delay heap stays empty: latency and fault delays share the
         // tick heap in `lat`.
         let faults = core.faults.take();
         let compiled = faults.as_deref().map(|f| &*f.compiled);
+        let chunk = core.chunk_limit;
         let horizon = core
             .round
             .saturating_add(1)
             .saturating_mul(TICKS_PER_ROUND);
         let transmitted =
-            !batch.is_empty() || !pending.is_empty() || lat.due_now(horizon);
+            core.queues.in_flight() > 0 || !pending.is_empty() || lat.due_now(horizon);
         let t_deliver = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Deliver));
         let flow;
         {
@@ -304,10 +315,8 @@ impl<P: Protocol> AsyncEngine<P> {
                 // own crossings.
                 t.end(SpanStage::LatencyHeap, t_lh, tx.delivered_so_far());
             }
-            for (dir, msg) in batch.drain(..) {
-                tx.deliver_head_latent(lat, compiled, dir as usize, msg, obs, &mut sink);
-            }
-            for (dir, msg) in pending.drain(..) {
+            tx.pump_backlog_latent(lat, compiled, &mut scratch, chunk, obs, &mut sink);
+            for (dir, msg) in pending.drain() {
                 tx.offer_latent(lat, compiled, dir as usize, msg, obs, &mut sink);
             }
             flow = tx.finish(&mut core.metrics);
@@ -316,7 +325,7 @@ impl<P: Protocol> AsyncEngine<P> {
             t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         core.faults = faults;
-        core.deliveries = batch;
+        core.deliveries = scratch;
         core.pending = pending;
         if any_activity || transmitted {
             core.metrics.active_rounds += 1;
@@ -361,8 +370,12 @@ impl<P: Protocol> Executor<P> for AsyncEngine<P> {
         AsyncEngine::nodes(self)
     }
 
-    fn in_flight(&self) -> usize {
+    fn in_flight(&self) -> u64 {
         AsyncEngine::in_flight(self)
+    }
+
+    fn peak_arena_slots(&self) -> u64 {
+        AsyncEngine::peak_arena_slots(self)
     }
 
     fn virtual_time(&self) -> f64 {

@@ -13,7 +13,7 @@ use crate::latency::{LatencyState, TICKS_PER_ROUND};
 use crate::message::Payload;
 use crate::metrics::{Metrics, NoopObserver, TransmitEvent, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
-use crate::queues::EdgeQueues;
+use crate::queues::{DirBatch, EdgeQueues, SHRINK_FLOOR, SHRINK_RATIO};
 use crate::telemetry::{RoundFlow, SpanStage, TelemetryConfig, TelemetryReport, TelemetryState};
 
 /// Engine-wide configuration.
@@ -118,12 +118,17 @@ pub struct Engine<P: Protocol> {
     pub(crate) done_flags: Vec<bool>,
     pub(crate) done_count: usize,
     pub(crate) metrics: Metrics,
-    /// Reused per-round delivery batch (`(directed_index, msg)` pairs).
-    pub(crate) deliveries: Vec<(u32, P::Msg)>,
+    /// Reused transmission scratch: each round the edge backlog is
+    /// pumped through this batch in chunks of at most `chunk_limit`
+    /// entries (see [`Engine::set_transmit_chunk`]), so its size is
+    /// bounded by the chunk, not by the number of active edges.
+    pub(crate) deliveries: DirBatch<P::Msg>,
     /// Sends of the current round, in send order, awaiting transmission.
     /// Uncongested messages go straight from here to the target inbox;
     /// only backlogged edges touch the arena in `queues`.
-    pub(crate) pending: Vec<(u32, P::Msg)>,
+    pub(crate) pending: DirBatch<P::Msg>,
+    /// Bound on the per-chunk transmission scratch (slots).
+    pub(crate) chunk_limit: usize,
     /// Round at which each directed edge last carried a message; the
     /// CONGEST one-per-round discipline without per-edge clearing.
     pub(crate) last_carried: Vec<u64>,
@@ -168,8 +173,9 @@ impl<P: Protocol> Engine<P> {
             done_flags: vec![false; n],
             done_count: 0,
             metrics: Metrics::new(n),
-            deliveries: Vec::new(),
-            pending: Vec::new(),
+            deliveries: DirBatch::new(),
+            pending: DirBatch::new(),
+            chunk_limit: TRANSMIT_CHUNK,
             last_carried: vec![u64::MAX; graph.directed_edge_count()],
             faults: None,
             telemetry: None,
@@ -262,6 +268,14 @@ impl<P: Protocol> Engine<P> {
     /// resize as needed), which is what lets a batch scheduler keep one
     /// engine per worker across thousands of trials.
     ///
+    /// Reuse also *shrinks*: a message arena whose capacity exceeds a
+    /// high-water ratio of the target graph's directed-edge count
+    /// (8× today, with an 8192-slot floor under which nothing is ever
+    /// shed) is released rather than pinned for the pool's lifetime, so
+    /// resetting from an `n = 10⁶` scenario to an `n = 10³` one returns
+    /// the large buffers to the allocator while same-scale reuse stays
+    /// allocation-free.
+    ///
     /// A reset engine is bit-identical to a fresh one: the only
     /// difference is where its buffers' memory came from.
     pub fn reset_with(
@@ -291,8 +305,18 @@ impl<P: Protocol> Engine<P> {
         self.done_flags.resize(n, false);
         self.done_count = 0;
         self.metrics.reset(n);
-        self.deliveries.clear();
-        self.pending.clear();
+        let limit = SHRINK_RATIO.saturating_mul(dcount).max(SHRINK_FLOOR);
+        if self.deliveries.capacity() > limit {
+            self.deliveries.release();
+        } else {
+            self.deliveries.clear();
+        }
+        if self.pending.capacity() > limit {
+            self.pending.release();
+        } else {
+            self.pending.clear();
+        }
+        self.chunk_limit = TRANSMIT_CHUNK;
         self.last_carried.clear();
         self.last_carried.resize(dcount, u64::MAX);
         self.faults = None;
@@ -311,6 +335,15 @@ impl<P: Protocol> Engine<P> {
         self.queues.arena_capacity() + self.deliveries.capacity() + self.pending.capacity()
     }
 
+    /// High-water mark of simultaneously queued messages since the last
+    /// reset: the edge-queue arena recycles vacated slots and only grows
+    /// one when none is free, so its occupied length is the run's peak
+    /// backlog population. The memory-budget fences in `tests/large_n.rs`
+    /// assert big-`n` elections stay under a stated slot count.
+    pub fn peak_arena_slots(&self) -> u64 {
+        self.queues.peak_slots() as u64
+    }
+
     /// Current round.
     pub fn round(&self) -> u64 {
         self.round
@@ -327,11 +360,24 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Messages queued for transmission (current-round sends, edge
-    /// backlog, and fault-delayed messages), not yet delivered.
-    pub fn in_flight(&self) -> usize {
-        self.pending.len()
-            + self.queues.in_flight()
-            + self.faults.as_ref().map_or(0, |f| f.parked())
+    /// backlog, and fault-delayed messages), not yet delivered. `u64`
+    /// deliberately: at `n = 10⁶` the in-flight population exceeds what
+    /// a 32-bit host's `usize` can count.
+    pub fn in_flight(&self) -> u64 {
+        (self.pending.len() as u64)
+            .saturating_add(self.queues.in_flight())
+            .saturating_add(self.faults.as_ref().map_or(0, |f| f.parked() as u64))
+    }
+
+    /// Caps the transmission scratch: each round's backlog is pumped
+    /// through a recycled batch of at most `limit` slots (clamped to
+    /// ≥ 1) instead of materializing one entry per active edge. Every
+    /// setting yields bit-identical executions — the bounded-arena
+    /// differential suite asserts as much — so this knob only trades
+    /// peak scratch memory against per-chunk loop overhead. Default:
+    /// 4096 slots.
+    pub fn set_transmit_chunk(&mut self, limit: usize) {
+        self.chunk_limit = limit.max(1);
     }
 
     /// Immutable view of the protocol instances.
@@ -484,14 +530,15 @@ impl<P: Protocol> Engine<P> {
         }
 
         // Transmission phase: one message per active directed edge.
-        // Backlogged edges deliver their queue head first; then the
+        // Backlogged edges deliver their queue head first (pumped in
+        // bounded chunks through the recycled scratch); then the
         // round's fresh sends either deliver directly (edge idle this
         // round — the common, allocation-free case) or join the backlog.
-        let mut batch = std::mem::take(&mut self.deliveries);
-        self.queues.transmit_into(&mut batch);
+        let mut scratch = std::mem::take(&mut self.deliveries);
         let mut pending = std::mem::take(&mut self.pending);
         let mut faults = self.faults.take();
-        let transmitted = !batch.is_empty()
+        let chunk = self.chunk_limit;
+        let transmitted = self.queues.in_flight() > 0
             || !pending.is_empty()
             || faults.as_ref().is_some_and(|f| f.due_now(self.round));
         let t_deliver = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::Deliver));
@@ -517,20 +564,16 @@ impl<P: Protocol> Engine<P> {
                 // Fault-free fast path: decided once per round, so the
                 // per-message loop stays exactly the unfaulted hot path.
                 None => {
-                    for (dir, msg) in batch.drain(..) {
-                        tx.deliver_head(dir as usize, msg, obs, &mut sink);
-                    }
-                    for (dir, msg) in pending.drain(..) {
+                    tx.pump_backlog(&mut scratch, chunk, obs, &mut sink);
+                    for (dir, msg) in pending.drain() {
                         tx.offer(dir as usize, msg, obs, &mut sink);
                     }
                 }
                 Some(fs) => {
                     let t_ff = tel.as_deref_mut().and_then(|t| t.begin(SpanStage::FaultFilter));
                     tx.release_due(fs, obs, &mut sink);
-                    for (dir, msg) in batch.drain(..) {
-                        tx.deliver_head_faulty(fs, dir as usize, msg, obs, &mut sink);
-                    }
-                    for (dir, msg) in pending.drain(..) {
+                    tx.pump_backlog_faulty(fs, &mut scratch, chunk, obs, &mut sink);
+                    for (dir, msg) in pending.drain() {
                         tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
                     }
                     if let Some(t) = tel.as_deref_mut() {
@@ -545,7 +588,7 @@ impl<P: Protocol> Engine<P> {
             t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         self.faults = faults;
-        self.deliveries = batch;
+        self.deliveries = scratch;
         self.pending = pending;
         if any_activity || transmitted {
             self.metrics.active_rounds += 1;
@@ -705,6 +748,12 @@ enum CallKind {
     Signal(Signal),
 }
 
+/// Default bound on the per-chunk transmission scratch, in slots (see
+/// [`Engine::set_transmit_chunk`]): large enough that the chunk-loop
+/// bookkeeping amortizes to nothing, small enough that a round with two
+/// million active edges flows through kilobytes of scratch.
+pub(crate) const TRANSMIT_CHUNK: usize = 4096;
+
 /// The per-message transmission discipline shared by both executors:
 /// the CONGEST one-message-per-directed-edge rule (`last_carried` round
 /// stamps), the backlog arena, and per-message metrics/observer events.
@@ -720,7 +769,7 @@ pub(crate) struct Transmitter<'a, M> {
     delivered_msgs: u64,
     delivered_bits: u64,
     dropped_msgs: u64,
-    max_backlog_seen: usize,
+    max_backlog_seen: u64,
 }
 
 impl<'a, M: Payload> Transmitter<'a, M> {
@@ -739,6 +788,75 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             delivered_bits: 0,
             dropped_msgs: 0,
             max_backlog_seen: 0,
+        }
+    }
+
+    /// Pumps this round's whole backlog — one head per active directed
+    /// edge, in active-list order — through `scratch` in chunks of at
+    /// most `limit` entries, delivering each chunk before popping the
+    /// next. Pool slots recycle chunk by chunk, so the round's peak
+    /// scratch is `min(limit, active edges)` regardless of congestion.
+    pub(crate) fn pump_backlog<O: TransmitObserver + ?Sized>(
+        &mut self,
+        scratch: &mut DirBatch<M>,
+        limit: usize,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        loop {
+            scratch.clear();
+            let more = self.queues.transmit_chunk(scratch, limit);
+            for (dir, msg) in scratch.drain() {
+                self.deliver_head(dir as usize, msg, obs, sink);
+            }
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// [`Transmitter::pump_backlog`] with the fault layer applied at
+    /// each crossing.
+    pub(crate) fn pump_backlog_faulty<O: TransmitObserver + ?Sized>(
+        &mut self,
+        fs: &mut FaultState<M>,
+        scratch: &mut DirBatch<M>,
+        limit: usize,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        loop {
+            scratch.clear();
+            let more = self.queues.transmit_chunk(scratch, limit);
+            for (dir, msg) in scratch.drain() {
+                self.deliver_head_faulty(fs, dir as usize, msg, obs, sink);
+            }
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// [`Transmitter::pump_backlog`] with the latency (and optional
+    /// fault) layer applied at each crossing.
+    pub(crate) fn pump_backlog_latent<O: TransmitObserver + ?Sized>(
+        &mut self,
+        lat: &mut LatencyState<M>,
+        faults: Option<&CompiledFaults>,
+        scratch: &mut DirBatch<M>,
+        limit: usize,
+        obs: &mut O,
+        sink: &mut impl FnMut(NodeId, Port, M),
+    ) {
+        loop {
+            scratch.clear();
+            let more = self.queues.transmit_chunk(scratch, limit);
+            for (dir, msg) in scratch.drain() {
+                self.deliver_head_latent(lat, faults, dir as usize, msg, obs, sink);
+            }
+            if !more {
+                break;
+            }
         }
     }
 
@@ -1017,7 +1135,7 @@ impl<'a, M: Payload> Transmitter<'a, M> {
             messages: self.delivered_msgs,
             bits: self.delivered_bits,
             dropped: self.dropped_msgs,
-            max_backlog: self.max_backlog_seen as u64,
+            max_backlog: self.max_backlog_seen,
         }
     }
 }

@@ -98,8 +98,14 @@ pub trait Executor<P: Protocol> {
     fn nodes(&self) -> &[P];
 
     /// Messages queued for transmission (current-round sends plus edge
-    /// backlog), not yet delivered.
-    fn in_flight(&self) -> usize;
+    /// backlog), not yet delivered. `u64`: at `n = 10⁶` the in-flight
+    /// population can exceed a 32-bit host's `usize`.
+    fn in_flight(&self) -> u64;
+
+    /// High-water mark of simultaneously queued messages since the last
+    /// reset (the engine's message-arena footprint); see
+    /// [`Engine::peak_arena_slots`].
+    fn peak_arena_slots(&self) -> u64;
 
     /// Virtual time elapsed, in rounds. For the synchronous executors
     /// this *is* the round count; the async executor stretches it past
@@ -143,8 +149,12 @@ impl<P: Protocol> Executor<P> for Engine<P> {
         Engine::nodes(self)
     }
 
-    fn in_flight(&self) -> usize {
+    fn in_flight(&self) -> u64 {
         Engine::in_flight(self)
+    }
+
+    fn peak_arena_slots(&self) -> u64 {
+        Engine::peak_arena_slots(self)
     }
 
     fn run_observed(
@@ -181,8 +191,12 @@ impl<P: Protocol> Executor<P> for ThreadedEngine<P> {
         ThreadedEngine::nodes(self)
     }
 
-    fn in_flight(&self) -> usize {
+    fn in_flight(&self) -> u64 {
         ThreadedEngine::in_flight(self)
+    }
+
+    fn peak_arena_slots(&self) -> u64 {
+        ThreadedEngine::peak_arena_slots(self)
     }
 
     fn run_observed(

@@ -7,7 +7,13 @@
 /// and how the metrics report total traffic in bits. Implementations should
 /// count the bits of the *information content* (ids are `4⌈log₂ n⌉` bits,
 /// counters `⌈log₂ range⌉` bits, flags 1 bit), not Rust's in-memory layout.
-pub trait Payload: Clone + std::fmt::Debug + Send + 'static {
+///
+/// `Default` is required by the engines' struct-of-arrays message
+/// arenas: a recycled slot is overwritten with `M::default()` (dropping
+/// any heap the old message owned) instead of carrying an `Option`
+/// discriminant per slot. The default value is never transmitted or
+/// observed by protocols; it only parks in free slots.
+pub trait Payload: Clone + std::fmt::Debug + Send + Default + 'static {
     /// Size of this message in bits when serialized on the wire.
     fn bit_size(&self) -> usize;
 }

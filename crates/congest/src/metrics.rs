@@ -18,8 +18,9 @@ pub struct Metrics {
     /// message was transmitted.
     pub active_rounds: u64,
     /// Largest backlog any single directed edge reached (≥ 1 message means
-    /// congestion delayed delivery).
-    pub max_edge_backlog: usize,
+    /// congestion delayed delivery). `u64` so big-`n` runs and 32-bit
+    /// hosts can't silently wrap the counter.
+    pub max_edge_backlog: u64,
     /// Messages removed by an installed [`crate::FaultPlan`] — dropped in
     /// transit, suppressed by a crashed endpoint, or sent into a cut
     /// edge. Always zero without a plan.

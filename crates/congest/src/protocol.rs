@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use welle_graph::Port;
 
 use crate::message::Payload;
+use crate::queues::DirBatch;
 
 /// Out-of-band control value delivered by [`crate::Engine::signal`].
 ///
@@ -104,8 +105,9 @@ pub struct Context<'a, M> {
     /// per-node accounting).
     pub(crate) sent: u32,
     pub(crate) rng: &'a mut StdRng,
-    /// The engine's transmission buffer: `(directed_index, message)`.
-    pub(crate) sends: &'a mut Vec<(u32, M)>,
+    /// The engine's transmission buffer (struct-of-arrays
+    /// `(directed_index, message)` entries).
+    pub(crate) sends: &'a mut DirBatch<M>,
     pub(crate) wake: &'a mut Option<u64>,
 }
 
@@ -168,7 +170,7 @@ impl<M: Payload> Context<'_, M> {
             );
         }
         self.sent += 1;
-        self.sends.push((self.dir_base + port.raw(), msg));
+        self.sends.push(self.dir_base + port.raw(), msg);
     }
 }
 
@@ -181,7 +183,7 @@ mod tests {
         degree: usize,
         budget: Option<usize>,
         rng: &'a mut StdRng,
-        sends: &'a mut Vec<(u32, u64)>,
+        sends: &'a mut DirBatch<u64>,
         wake: &'a mut Option<u64>,
     ) -> Context<'a, u64> {
         Context {
@@ -200,7 +202,7 @@ mod tests {
     #[test]
     fn context_accessors_and_effects() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sends: Vec<(u32, u64)> = Vec::new();
+        let mut sends: DirBatch<u64> = DirBatch::new();
         let mut wake = None;
         let mut ctx = test_ctx(2, None, &mut rng, &mut sends, &mut wake);
         assert_eq!(ctx.round(), 3);
@@ -211,7 +213,7 @@ mod tests {
         ctx.wake_at(10);
         ctx.wake_at(7);
         ctx.wake_at(12);
-        assert_eq!(sends, vec![(101, 99)]);
+        assert_eq!(sends.drain().collect::<Vec<_>>(), vec![(101, 99)]);
         assert_eq!(wake, Some(7));
     }
 
@@ -219,7 +221,7 @@ mod tests {
     #[should_panic(expected = "degree")]
     fn sending_on_bad_port_panics() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sends: Vec<(u32, u64)> = Vec::new();
+        let mut sends: DirBatch<u64> = DirBatch::new();
         let mut wake = None;
         let mut ctx = test_ctx(1, None, &mut rng, &mut sends, &mut wake);
         ctx.send(Port::new(1), 5);
@@ -229,7 +231,7 @@ mod tests {
     #[should_panic(expected = "CONGEST budget")]
     fn sending_over_budget_panics() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sends: Vec<(u32, u64)> = Vec::new();
+        let mut sends: DirBatch<u64> = DirBatch::new();
         let mut wake = None;
         let mut ctx = test_ctx(1, Some(32), &mut rng, &mut sends, &mut wake);
         ctx.send(Port::new(0), 5); // u64 payload claims 64 bits

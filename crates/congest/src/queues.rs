@@ -10,15 +10,91 @@
 //! allocation-free after warm-up and cache-friendly at `n ≥ 10⁵`,
 //! where two million per-edge `VecDeque`s would each heap-allocate on
 //! first use.
+//!
+//! Two layout decisions keep the arena at `n = 10⁶` scale:
+//!
+//! * **Struct-of-arrays pool.** Messages and their intrusive `next`
+//!   links live in parallel `Vec<M>` / `Vec<u32>` arrays; a free slot
+//!   holds `M::default()` instead of an `Option` discriminant, so a
+//!   slot costs exactly `size_of::<M>() + 4` bytes and the transmit
+//!   scan walks densely packed data. (This is why [`Payload`] requires
+//!   `Default`.)
+//! * **Bounded per-round batches.** [`EdgeQueues::transmit_chunk`]
+//!   pops queue heads through a caller-owned [`DirBatch`] scratch of
+//!   bounded size instead of materializing the whole round: a round
+//!   with two million active edges flows through a few thousand
+//!   recycled scratch slots, with pool slots freed as each chunk is
+//!   handed out.
+//!
+//! [`Payload`]: crate::message::Payload
 
 /// Sentinel for "no slot" in the intrusive lists.
 const NIL: u32 = u32::MAX;
+
+/// A struct-of-arrays batch of `(directed_index, message)` pairs: the
+/// engines' transmission currency. Splitting the `u32` indices from the
+/// messages avoids the padding of a `(u32, M)` tuple (8 bytes per entry
+/// for a 32-byte message) and keeps the index scan dense.
+#[derive(Debug, Default)]
+pub(crate) struct DirBatch<M> {
+    dirs: Vec<u32>,
+    msgs: Vec<M>,
+}
+
+impl<M> DirBatch<M> {
+    pub(crate) fn new() -> Self {
+        DirBatch {
+            dirs: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Appends one `(directed_index, message)` entry.
+    #[inline]
+    pub(crate) fn push(&mut self, dir: u32, msg: M) {
+        self.dirs.push(dir);
+        self.msgs.push(msg);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        debug_assert_eq!(self.dirs.len(), self.msgs.len());
+        self.dirs.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// Entries the batch can hold without re-allocating (arena budget
+    /// accounting; see [`crate::Engine::arena_capacity`]).
+    pub(crate) fn capacity(&self) -> usize {
+        self.dirs.capacity()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.dirs.clear();
+        self.msgs.clear();
+    }
+
+    /// Drains the batch front to back, preserving push order.
+    pub(crate) fn drain(&mut self) -> impl Iterator<Item = (u32, M)> + '_ {
+        self.dirs.drain(..).zip(self.msgs.drain(..))
+    }
+
+    /// Drops the backing arrays entirely (see
+    /// [`EdgeQueues::shrink_for`] for when oversized buffers are let
+    /// go).
+    pub(crate) fn release(&mut self) {
+        self.dirs = Vec::new();
+        self.msgs = Vec::new();
+    }
+}
 
 /// Message queues keyed by directed edge index (`Graph::directed_index`).
 ///
 /// All operations are keyed by the directed index directly; callers
 /// resolve `(node, port)` to an index once per send, and
-/// [`EdgeQueues::transmit_into`] hands indices back so delivery never
+/// [`EdgeQueues::transmit_chunk`] hands indices back so delivery never
 /// recomputes them.
 #[derive(Debug)]
 pub(crate) struct EdgeQueues<M> {
@@ -26,19 +102,26 @@ pub(crate) struct EdgeQueues<M> {
     head: Vec<u32>,
     /// Tail slot of each directed edge's queue (`NIL` when empty).
     tail: Vec<u32>,
-    /// Arena of messages; `None` marks a free slot.
-    pool: Vec<Option<M>>,
+    /// Arena of messages (struct-of-arrays with `next`); free slots hold
+    /// `M::default()` and are threaded through the free list.
+    pool: Vec<M>,
     /// `next[slot]` links queue slots; also threads the free list.
     next: Vec<u32>,
     /// Head of the free list inside `pool`.
     free: u32,
     /// Directed edges with at least one queued message, by index.
     active: Vec<u32>,
-    total_queued: usize,
+    /// Scan cursor of an in-progress transmit pass over `active`
+    /// (0 between rounds).
+    scan: usize,
+    /// Compaction cursor of an in-progress transmit pass (entries
+    /// `active[..kept]` are still backed up after their head popped).
+    kept: usize,
+    total_queued: u64,
     backlog: Vec<u32>,
 }
 
-impl<M> EdgeQueues<M> {
+impl<M: Default> EdgeQueues<M> {
     pub(crate) fn new(directed_edges: usize) -> Self {
         EdgeQueues {
             head: vec![NIL; directed_edges],
@@ -47,6 +130,8 @@ impl<M> EdgeQueues<M> {
             next: Vec::new(),
             free: NIL,
             active: Vec::new(),
+            scan: 0,
+            kept: 0,
             total_queued: 0,
             backlog: vec![0; directed_edges],
         }
@@ -54,15 +139,19 @@ impl<M> EdgeQueues<M> {
 
     /// Queues a message on the directed edge with index `dir`, returning
     /// the edge's queue length after the push (for backlog metrics).
-    pub(crate) fn push_dir(&mut self, dir: usize, msg: M) -> usize {
+    pub(crate) fn push_dir(&mut self, dir: usize, msg: M) -> u64 {
+        debug_assert!(
+            self.scan == 0 && self.kept == 0,
+            "push during an in-progress transmit pass would corrupt the active list"
+        );
         let slot = if self.free != NIL {
             let s = self.free;
             self.free = self.next[s as usize];
-            self.pool[s as usize] = Some(msg);
+            self.pool[s as usize] = msg;
             s
         } else {
             let s = crate::idx32(self.pool.len());
-            self.pool.push(Some(msg));
+            self.pool.push(msg);
             self.next.push(NIL);
             s
         };
@@ -74,13 +163,21 @@ impl<M> EdgeQueues<M> {
             self.next[self.tail[dir] as usize] = slot;
         }
         self.tail[dir] = slot;
+        debug_assert!(
+            self.total_queued < u64::MAX,
+            "in-flight message counter at capacity"
+        );
         self.total_queued += 1;
+        debug_assert!(
+            self.backlog[dir] < u32::MAX,
+            "per-edge backlog counter at capacity"
+        );
         self.backlog[dir] += 1;
-        self.backlog[dir] as usize
+        u64::from(self.backlog[dir])
     }
 
     /// Number of messages currently queued across all edges.
-    pub(crate) fn in_flight(&self) -> usize {
+    pub(crate) fn in_flight(&self) -> u64 {
         self.total_queued
     }
 
@@ -88,21 +185,44 @@ impl<M> EdgeQueues<M> {
     /// keeping the slot arena: every pool slot is cleared and rethreaded
     /// onto the free list, so a reset-and-reused queue set never
     /// re-allocates for traffic the previous run already paid for.
+    /// (Oversized arenas are released first — see
+    /// [`EdgeQueues::shrink_for`].)
     pub(crate) fn reset(&mut self, directed_edges: usize) {
+        self.shrink_for(directed_edges);
         self.head.clear();
         self.head.resize(directed_edges, NIL);
         self.tail.clear();
         self.tail.resize(directed_edges, NIL);
         self.free = NIL;
         for i in (0..self.pool.len()).rev() {
-            self.pool[i] = None;
+            self.pool[i] = M::default();
             self.next[i] = self.free;
             self.free = crate::idx32(i);
         }
         self.active.clear();
+        self.scan = 0;
+        self.kept = 0;
         self.total_queued = 0;
         self.backlog.clear();
         self.backlog.resize(directed_edges, 0);
+    }
+
+    /// Releases the slot arena when it is oversized for the target edge
+    /// set: a pool grown by an `n = 10⁶` run would otherwise pin its
+    /// memory for the lifetime of a pooled engine that has moved on to
+    /// `n = 10³` scenarios. "Oversized" means past the high-water ratio
+    /// [`SHRINK_RATIO`]`× directed_edges` (with the [`SHRINK_FLOOR`]
+    /// keeping small-graph churn tests allocation-stable); anything
+    /// under that is kept, so same-scale reuse stays warm.
+    fn shrink_for(&mut self, directed_edges: usize) {
+        let limit = SHRINK_RATIO
+            .saturating_mul(directed_edges)
+            .max(SHRINK_FLOOR);
+        if self.pool.capacity() > limit {
+            self.pool = Vec::new();
+            self.next = Vec::new();
+            self.active = Vec::new();
+        }
     }
 
     /// Slots the message arena can hold without re-allocating
@@ -111,46 +231,87 @@ impl<M> EdgeQueues<M> {
         self.pool.capacity()
     }
 
+    /// High-water mark of simultaneously queued messages: the arena only
+    /// grows a slot when the free list is empty and never shrinks
+    /// mid-run, so its length *is* the peak occupancy since the last
+    /// reset.
+    pub(crate) fn peak_slots(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Transmits one message per active directed edge, appending
-    /// `(directed_index, msg)` pairs to `out` in active-list order;
-    /// maintains the active list for the next round.
+    /// `(directed_index, msg)` entries to `out` in active-list order —
+    /// at most `limit` per call. Returns `true` while edges of this
+    /// round's pass remain, `false` once the pass is complete (the
+    /// active list is then compacted for the next round).
     ///
-    /// Batching the deliveries into a caller-owned buffer (instead of a
-    /// per-message callback) lets the engines run their delivery loop
-    /// over plain data with no closure dispatch in between.
-    pub(crate) fn transmit_into(&mut self, out: &mut Vec<(u32, M)>) {
-        let mut kept = 0usize;
-        for i in 0..self.active.len() {
-            let dir = self.active[i];
+    /// The engines drain each chunk into inboxes before pulling the
+    /// next, so a round's peak scratch is `min(limit, active edges)`
+    /// slots instead of one slot per active edge, and popped pool slots
+    /// recycle within the round. Between completed passes the cursor
+    /// state is zero; interleaving [`EdgeQueues::push_dir`] with an
+    /// unfinished pass is a bug (debug-asserted there), which the
+    /// engines respect by fully draining the backlog before offering
+    /// fresh sends.
+    pub(crate) fn transmit_chunk(&mut self, out: &mut DirBatch<M>, limit: usize) -> bool {
+        let end = self.active.len().min(self.scan.saturating_add(limit));
+        while self.scan < end {
+            let dir = self.active[self.scan];
+            self.scan += 1;
             let d = dir as usize;
             let slot = self.head[d];
             debug_assert!(slot != NIL, "active directed edge has a queued message");
-            let msg = self.pool[slot as usize]
-                .take()
-                // welle-lint: allow(no-lib-unwrap) — invariant: `active` only lists directed edges whose head slot is occupied (debug-asserted above)
-                .expect("queue slot holds a message");
+            let msg = std::mem::take(&mut self.pool[slot as usize]);
             self.head[d] = self.next[slot as usize];
             if self.head[d] == NIL {
                 self.tail[d] = NIL;
             } else {
                 // Still backed up: stays in the active list.
-                self.active[kept] = dir;
-                kept += 1;
+                self.active[self.kept] = dir;
+                self.kept += 1;
             }
             self.next[slot as usize] = self.free;
             self.free = slot;
             self.total_queued -= 1;
             self.backlog[d] -= 1;
-            out.push((dir, msg));
+            out.push(dir, msg);
         }
-        self.active.truncate(kept);
+        if self.scan < self.active.len() {
+            return true;
+        }
+        self.active.truncate(self.kept);
+        self.scan = 0;
+        self.kept = 0;
+        false
+    }
+
+    /// Completes a whole transmit pass into `out` in one call (tests and
+    /// single-batch callers).
+    #[cfg(test)]
+    pub(crate) fn transmit_into(&mut self, out: &mut DirBatch<M>) {
+        let more = self.transmit_chunk(out, usize::MAX);
+        debug_assert!(!more, "an unlimited chunk completes the pass");
     }
 }
+
+/// Reset keeps an arena only while its capacity is at most this many
+/// times the target graph's directed-edge count (see
+/// [`EdgeQueues::shrink_for`]).
+pub(crate) const SHRINK_RATIO: usize = 8;
+
+/// Arenas below this slot count are never shrunk: releasing kilobytes
+/// buys nothing and would defeat the warm-reuse guarantee on small
+/// graphs.
+pub(crate) const SHRINK_FLOOR: usize = 1 << 13;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use welle_graph::{gen, NodeId, Port};
+
+    fn drained(seen: &mut DirBatch<u64>) -> Vec<(u32, u64)> {
+        seen.drain().collect()
+    }
 
     #[test]
     fn fifo_one_per_round() {
@@ -162,17 +323,16 @@ mod tests {
         assert_eq!(q.push_dir(dir, 3), 3);
         assert_eq!(q.in_flight(), 3);
 
-        let mut seen = Vec::new();
+        let mut seen = DirBatch::new();
         q.transmit_into(&mut seen);
-        assert_eq!(seen, vec![(dir as u32, 1)]);
+        assert_eq!(drained(&mut seen), vec![(dir as u32, 1)]);
         q.transmit_into(&mut seen);
         q.transmit_into(&mut seen);
-        let msgs: Vec<u64> = seen.iter().map(|&(_, m)| m).collect();
-        assert_eq!(msgs, vec![1, 2, 3]);
+        let msgs: Vec<u64> = drained(&mut seen).iter().map(|&(_, m)| m).collect();
+        assert_eq!(msgs, vec![2, 3]);
         assert_eq!(q.in_flight(), 0);
 
         // Idle transmit is a no-op.
-        seen.clear();
         q.transmit_into(&mut seen);
         assert!(seen.is_empty());
     }
@@ -185,9 +345,9 @@ mod tests {
         for port in 0..3 {
             q.push_dir(g.directed_index(hub, Port::new(port)), port as u64);
         }
-        let mut seen = Vec::new();
+        let mut seen = DirBatch::new();
         q.transmit_into(&mut seen);
-        let mut msgs: Vec<u64> = seen.iter().map(|&(_, m)| m).collect();
+        let mut msgs: Vec<u64> = drained(&mut seen).iter().map(|&(_, m)| m).collect();
         msgs.sort_unstable();
         assert_eq!(msgs, vec![0, 1, 2]);
     }
@@ -198,9 +358,9 @@ mod tests {
         let mut q: EdgeQueues<u64> = EdgeQueues::new(g.directed_edge_count());
         q.push_dir(g.directed_index(NodeId::new(0), Port::new(0)), 10);
         q.push_dir(g.directed_index(NodeId::new(1), Port::new(0)), 20);
-        let mut seen = Vec::new();
+        let mut seen = DirBatch::new();
         q.transmit_into(&mut seen);
-        let mut got: Vec<(usize, u64)> = seen
+        let mut got: Vec<(usize, u64)> = drained(&mut seen)
             .iter()
             .map(|&(dir, m)| (g.directed_source(dir as usize).0.index(), m))
             .collect();
@@ -213,13 +373,94 @@ mod tests {
         let g = gen::path(2).unwrap();
         let mut q: EdgeQueues<u64> = EdgeQueues::new(g.directed_edge_count());
         let dir = g.directed_index(NodeId::new(0), Port::new(0));
-        let mut out = Vec::new();
+        let mut out = DirBatch::new();
+        let mut total = 0usize;
         for round in 0..100u64 {
             q.push_dir(dir, round);
             q.transmit_into(&mut out);
+            total += drained(&mut out).len();
         }
-        assert_eq!(out.len(), 100);
+        assert_eq!(total, 100);
         // Steady-state traffic of one in-flight message reuses one slot.
         assert_eq!(q.pool.len(), 1);
+    }
+
+    #[test]
+    fn chunked_pass_matches_unbounded_pass() {
+        // The bounded-arena pump must hand out exactly the unbounded
+        // pass's sequence, at every chunk size, and leave the same
+        // queue state behind.
+        let g = gen::clique(6).unwrap();
+        let dirs: Vec<usize> = (0..g.directed_edge_count()).collect();
+        let fill = |q: &mut EdgeQueues<u64>| {
+            for (k, &dir) in dirs.iter().enumerate() {
+                // Mixed depths: some edges idle, some backed up.
+                for copy in 0..(k % 4) {
+                    q.push_dir(dir, (k * 10 + copy) as u64);
+                }
+            }
+        };
+        let mut oracle: EdgeQueues<u64> = EdgeQueues::new(g.directed_edge_count());
+        fill(&mut oracle);
+        let mut want = Vec::new();
+        loop {
+            let mut out = DirBatch::new();
+            oracle.transmit_into(&mut out);
+            if out.is_empty() {
+                break;
+            }
+            want.push(drained(&mut out));
+        }
+        for chunk in [1usize, 2, 3, 7, usize::MAX] {
+            let mut q: EdgeQueues<u64> = EdgeQueues::new(g.directed_edge_count());
+            fill(&mut q);
+            let mut got = Vec::new();
+            loop {
+                let mut round = Vec::new();
+                let mut scratch = DirBatch::new();
+                loop {
+                    scratch.clear();
+                    let more = q.transmit_chunk(&mut scratch, chunk);
+                    assert!(scratch.len() <= chunk, "scratch bounded by the chunk");
+                    round.extend(scratch.drain());
+                    if !more {
+                        break;
+                    }
+                }
+                if round.is_empty() {
+                    break;
+                }
+                got.push(round);
+            }
+            assert_eq!(got, want, "chunk = {chunk}");
+            assert_eq!(q.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_shrinks_oversized_arenas_only() {
+        let g = gen::path(2).unwrap();
+        let mut q: EdgeQueues<u64> = EdgeQueues::new(g.directed_edge_count());
+        let dir = g.directed_index(NodeId::new(0), Port::new(0));
+        // Small growth stays under the floor: reset keeps the arena.
+        for i in 0..64 {
+            q.push_dir(dir, i);
+        }
+        let small = q.arena_capacity();
+        q.reset(g.directed_edge_count());
+        assert_eq!(q.arena_capacity(), small, "under the floor: kept");
+        // Blow past the floor and the ratio for this tiny graph: the
+        // arena is released on reset.
+        for i in 0..(SHRINK_FLOOR as u64 + 1) {
+            q.push_dir(dir, i);
+        }
+        assert!(q.arena_capacity() > SHRINK_FLOOR);
+        q.reset(g.directed_edge_count());
+        assert_eq!(q.arena_capacity(), 0, "oversized arena released");
+        // And the queue still works after the release.
+        q.push_dir(dir, 7);
+        let mut out = DirBatch::new();
+        q.transmit_into(&mut out);
+        assert_eq!(drained(&mut out), vec![(dir as u32, 7)]);
     }
 }

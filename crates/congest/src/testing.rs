@@ -236,10 +236,12 @@ pub struct Echo {
     replies: usize,
 }
 
-/// Message type for [`Echo`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Message type for [`Echo`]. (`Default` fills recycled arena slots —
+/// see [`crate::Payload`]; the value itself is never delivered.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EchoMsg {
     /// Request.
+    #[default]
     Ping,
     /// Response.
     Pong,

@@ -33,6 +33,7 @@ use crate::engine::{Engine, EngineConfig, RunOutcome, Transmitter};
 use crate::faults::{CompiledFaultPlan, CompiledFaults, FaultError, FaultPlan};
 use crate::metrics::{Metrics, NoopObserver, TransmitObserver};
 use crate::protocol::{Context, Protocol, Signal};
+use crate::queues::DirBatch;
 use crate::telemetry::{SpanStage, TelemetryConfig, TelemetryReport};
 
 /// Worker command: simulate one round (`on_round` phase).
@@ -77,8 +78,8 @@ struct Shard<P: Protocol> {
     /// `inbox_flag`): keeps them duplicate-free without a dedup pass.
     flags: Vec<bool>,
     /// Sends of the last protocol phase: `(directed_index, msg)`, in
-    /// node (= send) order.
-    outbox: Vec<(u32, P::Msg)>,
+    /// node (= send) order (struct-of-arrays, like the engine buffers).
+    outbox: DirBatch<P::Msg>,
     /// Per-node send counts of the last phase, `(local index, count)`.
     sent_log: Vec<(u32, u32)>,
     /// Earliest pending wake after the last protocol phase.
@@ -351,8 +352,19 @@ impl<P: Protocol> ThreadedEngine<P> {
     }
 
     /// Messages queued for transmission, not yet delivered.
-    pub fn in_flight(&self) -> usize {
+    pub fn in_flight(&self) -> u64 {
         self.inner.in_flight()
+    }
+
+    /// Peak queued-message population; see [`Engine::peak_arena_slots`].
+    pub fn peak_arena_slots(&self) -> u64 {
+        self.inner.peak_arena_slots()
+    }
+
+    /// Caps the transmission scratch of the serial merge phase; see
+    /// [`Engine::set_transmit_chunk`].
+    pub fn set_transmit_chunk(&mut self, limit: usize) {
+        self.inner.set_transmit_chunk(limit);
     }
 
     /// Immutable view of the protocol instances.
@@ -641,14 +653,15 @@ impl<P: Protocol> ThreadedEngine<P> {
         let mut any_activity = starting;
         let mut transmitted = false;
 
-        // Backlogged edges deliver their queue head first — exactly the
-        // serial engine's order; the discipline itself is the shared
-        // [`Transmitter`], only the shard-routed inbox sink is ours.
-        let mut batch = std::mem::take(&mut self.inner.deliveries);
-        self.inner.queues.transmit_into(&mut batch);
+        // Backlogged edges deliver their queue head first (pumped in
+        // bounded chunks) — exactly the serial engine's order; the
+        // discipline itself is the shared [`Transmitter`], only the
+        // shard-routed inbox sink is ours.
+        let mut scratch = std::mem::take(&mut self.inner.deliveries);
         let mut pending = std::mem::take(&mut self.inner.pending);
         let mut faults = self.inner.faults.take();
-        transmitted |= !batch.is_empty()
+        let chunk = self.inner.chunk_limit;
+        transmitted |= self.inner.queues.in_flight() > 0
             || !pending.is_empty()
             || faults.as_ref().is_some_and(|f| f.due_now(self.inner.round));
         let mut inbox_total = 0usize;
@@ -668,21 +681,17 @@ impl<P: Protocol> ThreadedEngine<P> {
                 let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
                 match faults.as_deref_mut() {
                     None => {
-                        for (dir, msg) in batch.drain(..) {
-                            tx.deliver_head(dir as usize, msg, obs, &mut sink);
-                        }
+                        tx.pump_backlog(&mut scratch, chunk, obs, &mut sink);
                         // Signal sends queued between runs (see
                         // `Engine::signal`).
-                        for (dir, msg) in pending.drain(..) {
+                        for (dir, msg) in pending.drain() {
                             tx.offer(dir as usize, msg, obs, &mut sink);
                         }
                     }
                     Some(fs) => {
                         tx.release_due(fs, obs, &mut sink);
-                        for (dir, msg) in batch.drain(..) {
-                            tx.deliver_head_faulty(fs, dir as usize, msg, obs, &mut sink);
-                        }
-                        for (dir, msg) in pending.drain(..) {
+                        tx.pump_backlog_faulty(fs, &mut scratch, chunk, obs, &mut sink);
+                        for (dir, msg) in pending.drain() {
                             tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
                         }
                     }
@@ -710,12 +719,12 @@ impl<P: Protocol> ThreadedEngine<P> {
                     let mut sink = shard_sink(&mut views, shard_len, &mut inbox_total);
                     match faults.as_deref_mut() {
                         None => {
-                            for (dir, msg) in outbox.drain(..) {
+                            for (dir, msg) in outbox.drain() {
                                 tx.offer(dir as usize, msg, obs, &mut sink);
                             }
                         }
                         Some(fs) => {
-                            for (dir, msg) in outbox.drain(..) {
+                            for (dir, msg) in outbox.drain() {
                                 tx.offer_faulty(fs, dir as usize, msg, obs, &mut sink);
                             }
                         }
@@ -729,7 +738,7 @@ impl<P: Protocol> ThreadedEngine<P> {
             t.end(SpanStage::Deliver, t_deliver, flow.messages);
         }
         self.inner.faults = faults;
-        self.inner.deliveries = batch;
+        self.inner.deliveries = scratch;
         self.inner.pending = pending;
 
         if any_activity || transmitted {
@@ -791,7 +800,7 @@ impl<P: Protocol> ThreadedEngine<P> {
                 done_count,
                 active: Vec::new(),
                 flags: flags.split_off(base),
-                outbox: Vec::new(),
+                outbox: DirBatch::new(),
                 sent_log: Vec::new(),
                 next_wake: None,
                 ran: false,

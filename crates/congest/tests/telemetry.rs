@@ -95,7 +95,7 @@ fn samples_reconcile_against_metrics() {
     assert_eq!(msgs, m.messages);
     assert_eq!(bits, m.bits);
     assert_eq!(dropped, m.dropped_messages);
-    assert_eq!(backlog, m.max_edge_backlog as u64);
+    assert_eq!(backlog, m.max_edge_backlog);
     // Rounds are strictly increasing and ticks follow the round clock.
     for w in report.samples.windows(2) {
         assert!(w[0].round < w[1].round);

@@ -46,6 +46,14 @@ pub enum HsMsg {
     },
 }
 
+/// A null echo: fills recycled engine arena slots (the [`Payload`]
+/// contract) and is never sent by the protocol (probe ids are ≥ 1).
+impl Default for HsMsg {
+    fn default() -> Self {
+        HsMsg::Echo { id: 0, phase: 0 }
+    }
+}
+
 impl Payload for HsMsg {
     fn bit_size(&self) -> usize {
         match self {

@@ -13,12 +13,15 @@ use rand::RngExt;
 use welle_congest::{bits_for, Context, Engine, EngineConfig, Payload, Protocol};
 use welle_graph::{Graph, Port};
 
-/// Message of the push–pull protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Message of the push–pull protocol. The `Default` value (a pull
+/// request) fills recycled engine arena slots, per the [`Payload`]
+/// contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum GossipMsg {
     /// The rumor (the leader's id, for explicit election).
     Rumor(u64),
     /// A pull request.
+    #[default]
     Pull,
 }
 

@@ -268,9 +268,14 @@ pub struct CampaignReport {
     /// Serial engines constructed while running the trials. With the
     /// pooled trial scheduler this stays at (at most) one per worker
     /// thread — not one per trial — because workers reset and reuse
-    /// their engine's arenas between trials. Trials forced onto an
-    /// explicit [`Exec::Threaded`] engine are not pooled and not
-    /// counted.
+    /// their engine's arenas between trials. Reuse is also bounded: a
+    /// reset sheds any message arena left far oversized for the next
+    /// trial's graph (the high-water shrink rule on
+    /// [`welle_congest::Engine::reset_with`]), so a campaign mixing a
+    /// giant scenario with small ones does not hold the giant's memory
+    /// for the rest of the sweep — still without raising this count.
+    /// Trials forced onto an explicit [`Exec::Threaded`] engine are not
+    /// pooled and not counted.
     pub engines_built: usize,
     /// Trials recovered from the resume manifest instead of re-run
     /// (always a prefix of the campaign's trial order).
@@ -1118,6 +1123,51 @@ mod tests {
         assert_eq!(
             outcome_fingerprint(&resumed).1,
             outcome_fingerprint(&full).1
+        );
+    }
+
+    #[test]
+    fn quoted_label_with_embedded_newline_survives_resume() {
+        // A scenario label with an embedded newline makes every trial
+        // row span two physical lines once escaped. Resume must parse
+        // those as single RFC 4180 logical rows — not reject the
+        // manifest as corrupt — and a tear right after the label's
+        // interior newline (so the fragment still ends in '\n') must
+        // read as a torn row, not a complete one.
+        let g = graph();
+        let cfg = ElectionConfig::tuned_for_simulation(64);
+        let path = temp_path("newline_label");
+        let label = "line one\nline \"two\", quoted";
+        let campaign = || {
+            Campaign::new(Election::on(&g).config(cfg))
+                .label(label)
+                .seeds(0..3)
+        };
+        let full = campaign().stream_csv(&path).run().unwrap();
+        let full_text = std::fs::read_to_string(&path).unwrap();
+
+        // Resuming the complete manifest recovers every trial.
+        let resumed = campaign().stream_csv(&path).resume(true).run().unwrap();
+        assert_eq!(resumed.resumed_trials, 3, "all three rows must parse");
+        assert_eq!(resumed.trials.len(), 0, "nothing should re-run");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), full_text);
+
+        // Tear inside the last row's quoted label, just past its
+        // embedded newline: quote parity is odd, so the trailing
+        // newline must not terminate the row.
+        let marker = "\"line one\n";
+        let tear = full_text.rfind(marker).unwrap() + marker.len();
+        assert!(full_text[..tear].ends_with('\n'));
+        std::fs::write(&path, &full_text[..tear]).unwrap();
+        let resumed = campaign().stream_csv(&path).resume(true).run().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(resumed.resumed_trials, 2, "the torn trial must re-run");
+        assert_eq!(text, full_text, "file must be byte-identical");
+        assert_eq!(
+            outcome_fingerprint(&resumed).1,
+            outcome_fingerprint(&full).1,
+            "resumed summaries must absorb the recovered trials"
         );
     }
 

@@ -104,7 +104,7 @@ pub use campaign::{
 pub use config::{ElectionConfig, MsgSizeMode, Params, Phase, SyncMode};
 pub use election::{Election, Exec};
 pub use error::ConfigError;
-pub use msg::{ElectionMsg, FwdItem, RevItem};
+pub use msg::{ElectionMsg, FwdItem, MsgView, RevItem};
 pub use protocol::{ElectionNode, SIGNAL_ADVANCE};
 pub use runner::ElectionReport;
 pub use welle_congest::{

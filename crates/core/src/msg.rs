@@ -1,20 +1,93 @@
 //! Wire messages of the election protocol, with bit-exact size
 //! accounting (Lemma 12's message taxonomy).
+//!
+//! # Packed representation
+//!
+//! [`ElectionMsg`] is a single 32-byte struct, not a tree of enums: a
+//! 64-bit `origin`, a 64-bit payload `word`, a 64-bit packed `meta`
+//! header, and an optional interned id run. At `n = 10⁶` the engine
+//! holds millions of these in its arena slots simultaneously, so the
+//! layout is chosen to make the common case allocation-free:
+//!
+//! * `meta` packs `tag(4) | epoch(6) | aux(32) | cnt(22)`. `aux` is the
+//!   walk's `remaining` counter or the reverse-routing `step`; `cnt` is
+//!   the walk multiplicity, the proxy count, or an id-set length.
+//!   `epoch ≤ 33` always (guess-and-double caps at `2^e ≥ 4n²`) and the
+//!   walk count `K = ⌈c2·√n·ln n⌉` stays below `2²²` for every
+//!   `u32`-representable `n` at the default `c2`; both bounds are
+//!   asserted with descriptive panics at construction.
+//! * Id-set payloads (`I1`/`I2`/`I3` fragments) inline a single id in
+//!   `word`. In CONGEST mode `frag == 1`, so *every* election message
+//!   is heap-free. Longer fragments (Large mode) intern the run in an
+//!   `Arc`, shared by all hops of a forward wave instead of re-cloned
+//!   per edge.
+//!
+//! The packing is an in-memory concern only: [`Payload::bit_size`]
+//! still charges the analytical wire cost of the unpacked fields, so
+//! bandwidth accounting is unchanged.
+
+use std::sync::Arc;
 
 use welle_congest::{bits_for, Payload};
 
-/// Tag bits distinguishing message variants on the wire.
+/// Tag bits distinguishing message variants on the wire (the charged
+/// cost; the in-memory tag spends 4 bits of `meta` to leave room for a
+/// reserved all-zero "void" state used by recycled arena slots).
 const TAG_BITS: usize = 3;
 
-/// A message of Algorithm 2.
+const TAG_SHIFT: u32 = 60;
+const EPOCH_SHIFT: u32 = 54;
+const AUX_SHIFT: u32 = 22;
+const EPOCH_MAX: u64 = (1 << 6) - 1;
+const CNT_MAX: u64 = (1 << 22) - 1;
+const AUX_MASK: u64 = 0xFFFF_FFFF << AUX_SHIFT;
+
+const TAG_WALK: u64 = 1;
+const TAG_REV_PROXY: u64 = 2;
+const TAG_REV_KNOWN: u64 = 3;
+const TAG_REV_R3: u64 = 4;
+const TAG_REV_WINNER: u64 = 5;
+const TAG_FWD_I2: u64 = 6;
+const TAG_FWD_STOP: u64 = 7;
+const TAG_FWD_WINNER: u64 = 8;
+
+fn pack(tag: u64, epoch: u32, aux: u32, cnt: u64) -> u64 {
+    assert!(
+        u64::from(epoch) <= EPOCH_MAX,
+        "epoch {epoch} exceeds the packed 6-bit budget (max {EPOCH_MAX})"
+    );
+    assert!(
+        cnt <= CNT_MAX,
+        "count {cnt} exceeds the packed 22-bit budget (max {CNT_MAX})"
+    );
+    (tag << TAG_SHIFT) | (u64::from(epoch) << EPOCH_SHIFT) | (u64::from(aux) << AUX_SHIFT) | cnt
+}
+
+/// A message of Algorithm 2, bit-packed (see the module docs).
 ///
-/// Three routing classes: [`ElectionMsg::Walk`] tokens advance the random
-/// walks; [`ElectionMsg::Rev`] units travel *backwards* along recorded
-/// trails (proxy → contender: rounds 1 and 3, winner notifications);
-/// [`ElectionMsg::Fwd`] units travel *forwards* (contender → proxies:
-/// round 2, stop commitments, winner announcements).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ElectionMsg {
+/// Three routing classes, inspected through [`ElectionMsg::view`]:
+/// `Walk` tokens advance the random walks; `Rev` units travel
+/// *backwards* along recorded trails (proxy → contender: rounds 1 and
+/// 3, winner notifications); `Fwd` units travel *forwards* (contender →
+/// proxies: round 2, stop commitments, winner announcements).
+///
+/// The `Default` value is a reserved "void" message (tag 0) that only
+/// fills recycled engine arena slots; it is never constructed by the
+/// protocol and never transmitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ElectionMsg {
+    origin: u64,
+    /// Variant payload: proxy/winner id, or a single inlined set id.
+    word: u64,
+    /// Packed header: `tag(4) | epoch(6) | aux(32) | cnt(22)`.
+    meta: u64,
+    /// Interned id run for set fragments longer than one id.
+    run: Option<Arc<Vec<u64>>>,
+}
+
+/// Borrowed decode of an [`ElectionMsg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgView<'a> {
     /// Aggregated walk token `⟨u, t_u⟩` with a multiplicity (Lemma 12's
     /// "one token and the count").
     Walk {
@@ -36,7 +109,7 @@ pub enum ElectionMsg {
         /// Step index at the receiving node.
         step: u32,
         /// Payload.
-        item: RevItem,
+        item: RevItem<'a>,
     },
     /// Forward-routed unit; `step` is the walk step *at the receiver*.
     Fwd {
@@ -47,13 +120,15 @@ pub enum ElectionMsg {
         /// Step index at the receiving node.
         step: u32,
         /// Payload.
-        item: FwdItem,
+        item: FwdItem<'a>,
     },
+    /// The reserved default message filling recycled arena slots.
+    Void,
 }
 
 /// Payloads travelling towards a contender.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum RevItem {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RevItem<'a> {
     /// Round-1 header: the proxy's id and how many of the origin's walks
     /// ended there (`count == 1` ⇔ the proxy is *distinct*).
     ProxyInfo {
@@ -66,12 +141,12 @@ pub enum RevItem {
     /// it serves).
     KnownContenders {
         /// Fragment of `I1` (one id in CONGEST mode).
-        ids: Vec<u64>,
+        ids: &'a [u64],
     },
     /// Round-3 set fragment: ids from the proxy's `I3`.
     R3Contenders {
         /// Fragment of `I3`.
-        ids: Vec<u64>,
+        ids: &'a [u64],
     },
     /// A winner notification relayed towards a contender.
     Winner {
@@ -81,12 +156,12 @@ pub enum RevItem {
 }
 
 /// Payloads travelling from a contender towards its proxies.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum FwdItem {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FwdItem<'a> {
     /// Round-2 set fragment: ids from the contender's `I2`.
     I2Ids {
         /// Fragment of `I2`.
-        ids: Vec<u64>,
+        ids: &'a [u64],
     },
     /// The contender committed to this epoch as its final guess
     /// (Fidelity note 5: proxies and trail nodes finalize their records).
@@ -99,9 +174,194 @@ pub enum FwdItem {
 }
 
 impl ElectionMsg {
+    /// A walk token: `count` bundled walks of `origin` with `remaining`
+    /// steps left in `epoch`.
+    pub fn walk(origin: u64, epoch: u32, remaining: u32, count: u32) -> Self {
+        ElectionMsg {
+            origin,
+            word: 0,
+            meta: pack(TAG_WALK, epoch, remaining, u64::from(count)),
+            run: None,
+        }
+    }
+
+    /// A reverse-routed unit addressed at walk step `step`.
+    pub fn rev(origin: u64, epoch: u32, step: u32, item: RevItem<'_>) -> Self {
+        match item {
+            RevItem::ProxyInfo { proxy_id, count } => ElectionMsg {
+                origin,
+                word: proxy_id,
+                meta: pack(TAG_REV_PROXY, epoch, step, u64::from(count)),
+                run: None,
+            },
+            RevItem::KnownContenders { ids } => {
+                Self::with_ids(TAG_REV_KNOWN, origin, epoch, step, ids)
+            }
+            RevItem::R3Contenders { ids } => Self::with_ids(TAG_REV_R3, origin, epoch, step, ids),
+            RevItem::Winner { id } => ElectionMsg {
+                origin,
+                word: id,
+                meta: pack(TAG_REV_WINNER, epoch, step, 0),
+                run: None,
+            },
+        }
+    }
+
+    /// A forward-routed unit (the protocol always originates these with
+    /// `step == 0`; the parameter exists for size-accounting tests).
+    pub fn fwd(origin: u64, epoch: u32, step: u32, item: FwdItem<'_>) -> Self {
+        match item {
+            FwdItem::I2Ids { ids } => Self::with_ids(TAG_FWD_I2, origin, epoch, step, ids),
+            FwdItem::StopMark => ElectionMsg {
+                origin,
+                word: 0,
+                meta: pack(TAG_FWD_STOP, epoch, step, 0),
+                run: None,
+            },
+            FwdItem::Winner { id } => ElectionMsg {
+                origin,
+                word: id,
+                meta: pack(TAG_FWD_WINNER, epoch, step, 0),
+                run: None,
+            },
+        }
+    }
+
+    /// Canonical id-set encoding: empty sets carry nothing, single ids
+    /// inline in `word`, longer runs intern once in an `Arc`. Derived
+    /// equality is therefore structural *and* logical.
+    fn with_ids(tag: u64, origin: u64, epoch: u32, aux: u32, ids: &[u64]) -> Self {
+        match ids {
+            [] => ElectionMsg {
+                origin,
+                word: 0,
+                meta: pack(tag, epoch, aux, 0),
+                run: None,
+            },
+            [id] => ElectionMsg {
+                origin,
+                word: *id,
+                meta: pack(tag, epoch, aux, 1),
+                run: None,
+            },
+            many => ElectionMsg {
+                origin,
+                word: 0,
+                meta: pack(tag, epoch, aux, many.len() as u64),
+                run: Some(Arc::new(many.to_vec())),
+            },
+        }
+    }
+
+    /// The walk origin whose trail this message follows.
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// The guess-and-double epoch.
+    pub fn epoch(&self) -> u32 {
+        ((self.meta >> EPOCH_SHIFT) & EPOCH_MAX) as u32
+    }
+
+    /// The routing-step field (`remaining` for walk tokens).
+    pub fn step(&self) -> u32 {
+        ((self.meta >> AUX_SHIFT) & 0xFFFF_FFFF) as u32
+    }
+
+    /// Whether this is a reverse-routed unit.
+    pub fn is_rev(&self) -> bool {
+        matches!(self.tag(), TAG_REV_PROXY..=TAG_REV_WINNER)
+    }
+
+    /// A copy of this message re-addressed to `step`, sharing any
+    /// interned id run with the original (no id cloning on relay hops).
+    pub fn with_step(&self, step: u32) -> Self {
+        let mut m = self.clone();
+        m.meta = (m.meta & !AUX_MASK) | (u64::from(step) << AUX_SHIFT);
+        m
+    }
+
+    fn tag(&self) -> u64 {
+        self.meta >> TAG_SHIFT
+    }
+
+    fn cnt(&self) -> u64 {
+        self.meta & CNT_MAX
+    }
+
+    /// The id-set payload (valid for the three set-fragment tags).
+    fn ids(&self) -> &[u64] {
+        match &self.run {
+            Some(run) => run.as_slice(),
+            None if self.cnt() == 0 => &[],
+            None => std::slice::from_ref(&self.word),
+        }
+    }
+
+    /// Decodes the packed fields into the logical message.
+    pub fn view(&self) -> MsgView<'_> {
+        let origin = self.origin;
+        let epoch = self.epoch();
+        let aux = self.step();
+        match self.tag() {
+            TAG_WALK => MsgView::Walk {
+                origin,
+                epoch,
+                remaining: aux,
+                count: self.cnt() as u32,
+            },
+            TAG_REV_PROXY => MsgView::Rev {
+                origin,
+                epoch,
+                step: aux,
+                item: RevItem::ProxyInfo {
+                    proxy_id: self.word,
+                    count: self.cnt() as u32,
+                },
+            },
+            TAG_REV_KNOWN => MsgView::Rev {
+                origin,
+                epoch,
+                step: aux,
+                item: RevItem::KnownContenders { ids: self.ids() },
+            },
+            TAG_REV_R3 => MsgView::Rev {
+                origin,
+                epoch,
+                step: aux,
+                item: RevItem::R3Contenders { ids: self.ids() },
+            },
+            TAG_REV_WINNER => MsgView::Rev {
+                origin,
+                epoch,
+                step: aux,
+                item: RevItem::Winner { id: self.word },
+            },
+            TAG_FWD_I2 => MsgView::Fwd {
+                origin,
+                epoch,
+                step: aux,
+                item: FwdItem::I2Ids { ids: self.ids() },
+            },
+            TAG_FWD_STOP => MsgView::Fwd {
+                origin,
+                epoch,
+                step: aux,
+                item: FwdItem::StopMark,
+            },
+            TAG_FWD_WINNER => MsgView::Fwd {
+                origin,
+                epoch,
+                step: aux,
+                item: FwdItem::Winner { id: self.word },
+            },
+            _ => MsgView::Void,
+        }
+    }
+
     /// A collision-resistant-enough key identifying a forward item for
     /// the per-node "filtering and forwarding" dedup of Lemma 12.
-    pub fn fwd_dedup_key(origin: u64, item: &FwdItem) -> u64 {
+    pub fn fwd_dedup_key(origin: u64, item: &FwdItem<'_>) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ origin;
         let mut mix = |v: u64| {
             h ^= v;
@@ -110,7 +370,7 @@ impl ElectionMsg {
         match item {
             FwdItem::I2Ids { ids } => {
                 mix(1);
-                for &id in ids {
+                for &id in *ids {
                     mix(id);
                 }
             }
@@ -124,11 +384,11 @@ impl ElectionMsg {
     }
 }
 
-impl RevItem {
+impl RevItem<'_> {
     fn payload_bits(&self) -> usize {
         match self {
             RevItem::ProxyInfo { proxy_id, count } => {
-                bits_for(*proxy_id) + bits_for(*count as u64)
+                bits_for(*proxy_id) + bits_for(u64::from(*count))
             }
             RevItem::KnownContenders { ids } | RevItem::R3Contenders { ids } => {
                 ids.iter().map(|&id| bits_for(id)).sum()
@@ -138,7 +398,7 @@ impl RevItem {
     }
 }
 
-impl FwdItem {
+impl FwdItem<'_> {
     fn payload_bits(&self) -> usize {
         match self {
             FwdItem::I2Ids { ids } => ids.iter().map(|&id| bits_for(id)).sum(),
@@ -150,43 +410,15 @@ impl FwdItem {
 
 impl Payload for ElectionMsg {
     fn bit_size(&self) -> usize {
-        match self {
-            ElectionMsg::Walk {
-                origin,
-                epoch,
-                remaining,
-                count,
-            } => {
-                TAG_BITS
-                    + bits_for(*origin)
-                    + bits_for(*epoch as u64 + 1)
-                    + bits_for(*remaining as u64 + 1)
-                    + bits_for(*count as u64)
-            }
-            ElectionMsg::Rev {
-                origin,
-                epoch,
-                step,
-                item,
-            } => {
-                TAG_BITS
-                    + bits_for(*origin)
-                    + bits_for(*epoch as u64 + 1)
-                    + bits_for(*step as u64 + 1)
-                    + item.payload_bits()
-            }
-            ElectionMsg::Fwd {
-                origin,
-                epoch,
-                step,
-                item,
-            } => {
-                TAG_BITS
-                    + bits_for(*origin)
-                    + bits_for(*epoch as u64 + 1)
-                    + bits_for(*step as u64 + 1)
-                    + item.payload_bits()
-            }
+        let head = TAG_BITS + bits_for(self.origin) + bits_for(u64::from(self.epoch()) + 1);
+        let route = bits_for(u64::from(self.step()) + 1);
+        match self.view() {
+            MsgView::Walk { count, .. } => head + route + bits_for(u64::from(count)),
+            MsgView::Rev { item, .. } => head + route + item.payload_bits(),
+            MsgView::Fwd { item, .. } => head + route + item.payload_bits(),
+            // Void messages only fill recycled arena slots; they are
+            // never transmitted, so they occupy no wire budget.
+            MsgView::Void => 0,
         }
     }
 }
@@ -196,45 +428,50 @@ mod tests {
     use super::*;
 
     #[test]
+    fn message_is_four_words() {
+        assert_eq!(std::mem::size_of::<ElectionMsg>(), 32);
+    }
+
+    #[test]
     fn walk_token_is_logarithmic() {
-        let m = ElectionMsg::Walk {
-            origin: 1 << 39, // id from [1, 1024⁴]
-            epoch: 5,
-            remaining: 32,
-            count: 443,
-        };
+        // id from [1, 1024⁴]
+        let m = ElectionMsg::walk(1 << 39, 5, 32, 443);
         // 3 + 40 + 3 + 6 + 9 = 61 bits: O(log n) for n = 1024.
         assert_eq!(m.bit_size(), 3 + 40 + 3 + 6 + 9);
+        assert_eq!(
+            m.view(),
+            MsgView::Walk {
+                origin: 1 << 39,
+                epoch: 5,
+                remaining: 32,
+                count: 443
+            }
+        );
     }
 
     #[test]
     fn congest_fragments_fit_small_budget() {
-        let m = ElectionMsg::Rev {
-            origin: u64::MAX,
-            epoch: 30,
-            step: 1 << 20,
-            item: RevItem::KnownContenders { ids: vec![u64::MAX] },
-        };
+        let m = ElectionMsg::rev(
+            u64::MAX,
+            30,
+            1 << 20,
+            RevItem::KnownContenders { ids: &[u64::MAX] },
+        );
         // Even with worst-case ids: 3 + 64 + 5 + 21 + 64 = 157 bits.
         assert!(m.bit_size() <= 4 * 64 + 96);
     }
 
     #[test]
     fn large_sets_scale_with_content() {
-        let small = ElectionMsg::Fwd {
-            origin: 7,
-            epoch: 0,
-            step: 0,
-            item: FwdItem::I2Ids { ids: vec![1] },
-        };
-        let big = ElectionMsg::Fwd {
-            origin: 7,
-            epoch: 0,
-            step: 0,
-            item: FwdItem::I2Ids {
-                ids: vec![u64::MAX; 20],
+        let small = ElectionMsg::fwd(7, 0, 0, FwdItem::I2Ids { ids: &[1] });
+        let big = ElectionMsg::fwd(
+            7,
+            0,
+            0,
+            FwdItem::I2Ids {
+                ids: &[u64::MAX; 20],
             },
-        };
+        );
         assert!(big.bit_size() > small.bit_size() + 19 * 32);
     }
 
@@ -243,8 +480,8 @@ mod tests {
         let a = ElectionMsg::fwd_dedup_key(1, &FwdItem::StopMark);
         let b = ElectionMsg::fwd_dedup_key(2, &FwdItem::StopMark);
         let c = ElectionMsg::fwd_dedup_key(1, &FwdItem::Winner { id: 9 });
-        let d = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: vec![9] });
-        let e = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: vec![10] });
+        let d = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: &[9] });
+        let e = ElectionMsg::fwd_dedup_key(1, &FwdItem::I2Ids { ids: &[10] });
         let all = [a, b, c, d, e];
         for i in 0..all.len() {
             for j in (i + 1)..all.len() {
@@ -255,12 +492,96 @@ mod tests {
 
     #[test]
     fn stopmark_is_tiny() {
-        let m = ElectionMsg::Fwd {
-            origin: 5,
-            epoch: 1,
-            step: 2,
-            item: FwdItem::StopMark,
-        };
+        let m = ElectionMsg::fwd(5, 1, 2, FwdItem::StopMark);
         assert!(m.bit_size() < 20);
+    }
+
+    #[test]
+    fn fields_round_trip_through_the_packing() {
+        let m = ElectionMsg::rev(
+            0xDEAD_BEEF,
+            33,
+            u32::MAX,
+            RevItem::ProxyInfo {
+                proxy_id: 42,
+                count: (CNT_MAX) as u32,
+            },
+        );
+        assert_eq!(m.origin(), 0xDEAD_BEEF);
+        assert_eq!(m.epoch(), 33);
+        assert_eq!(m.step(), u32::MAX);
+        assert!(m.is_rev());
+        let MsgView::Rev { item, .. } = m.view() else {
+            panic!("decoded as non-Rev");
+        };
+        assert_eq!(
+            item,
+            RevItem::ProxyInfo {
+                proxy_id: 42,
+                count: CNT_MAX as u32
+            }
+        );
+    }
+
+    #[test]
+    fn single_ids_inline_and_runs_intern() {
+        let one = ElectionMsg::rev(1, 0, 7, RevItem::R3Contenders { ids: &[99] });
+        assert!(one.run.is_none(), "single id must not allocate");
+        assert_eq!(
+            one.view(),
+            MsgView::Rev {
+                origin: 1,
+                epoch: 0,
+                step: 7,
+                item: RevItem::R3Contenders { ids: &[99] }
+            }
+        );
+        let many = ElectionMsg::fwd(1, 0, 0, FwdItem::I2Ids { ids: &[5, 6, 7] });
+        let MsgView::Fwd {
+            item: FwdItem::I2Ids { ids },
+            ..
+        } = many.view()
+        else {
+            panic!("decoded as non-Fwd");
+        };
+        assert_eq!(ids, &[5, 6, 7]);
+        // Re-addressing shares the interned run instead of cloning it.
+        let relayed = many.with_step(3);
+        assert_eq!(relayed.step(), 3);
+        assert!(Arc::ptr_eq(
+            many.run.as_ref().unwrap(),
+            relayed.run.as_ref().unwrap()
+        ));
+        let none = ElectionMsg::rev(1, 0, 7, RevItem::KnownContenders { ids: &[] });
+        assert!(none.run.is_none());
+        assert_eq!(
+            none.view(),
+            MsgView::Rev {
+                origin: 1,
+                epoch: 0,
+                step: 7,
+                item: RevItem::KnownContenders { ids: &[] }
+            }
+        );
+    }
+
+    #[test]
+    fn default_is_the_void_message() {
+        let v = ElectionMsg::default();
+        assert_eq!(v.view(), MsgView::Void);
+        assert_eq!(v.bit_size(), 0);
+        assert!(!v.is_rev());
+    }
+
+    #[test]
+    #[should_panic(expected = "6-bit budget")]
+    fn oversized_epoch_panics() {
+        let _ = ElectionMsg::walk(1, 64, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "22-bit budget")]
+    fn oversized_count_panics() {
+        let _ = ElectionMsg::walk(1, 0, 0, 1 << 22);
     }
 }

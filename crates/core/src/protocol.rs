@@ -28,7 +28,7 @@ use welle_graph::Port;
 use welle_walks::{split_lazy, Hop, ReverseRoute, TrailStore};
 
 use crate::config::{Params, Phase, SyncMode};
-use crate::msg::{ElectionMsg, FwdItem, RevItem};
+use crate::msg::{ElectionMsg, FwdItem, MsgView, RevItem};
 use crate::state::{ContenderState, Decision, EpochRecord, NodeStats, ProxyRecord};
 
 /// The signal value the adaptive driver broadcasts to advance one segment.
@@ -236,9 +236,7 @@ impl ElectionNode {
                     origin,
                     epoch,
                     walk_len,
-                    RevItem::KnownContenders {
-                        ids: chunk.to_vec(),
-                    },
+                    RevItem::KnownContenders { ids: chunk },
                 );
             }
             if let Some(w) = self.winner_heard {
@@ -261,14 +259,8 @@ impl ElectionNode {
             _ => return,
         };
         for chunk in ids.chunks(self.params.frag) {
-            self.process_forward(
-                ctx,
-                self.id,
-                epoch,
-                FwdItem::I2Ids {
-                    ids: chunk.to_vec(),
-                },
-            );
+            let m = ElectionMsg::fwd(self.id, epoch, 0, FwdItem::I2Ids { ids: chunk });
+            self.process_forward(ctx, m);
         }
     }
 
@@ -293,9 +285,7 @@ impl ElectionNode {
                     origin,
                     epoch,
                     walk_len,
-                    RevItem::R3Contenders {
-                        ids: chunk.to_vec(),
-                    },
+                    RevItem::R3Contenders { ids: chunk },
                 );
             }
         }
@@ -349,10 +339,12 @@ impl ElectionNode {
             self.decided_round = Some(ctx.round());
             // Commit: proxies and trail nodes keep serving this epoch's
             // records (Fidelity note 5).
-            self.process_forward(ctx, self.id, epoch, FwdItem::StopMark);
+            let stop = ElectionMsg::fwd(self.id, epoch, 0, FwdItem::StopMark);
+            self.process_forward(ctx, stop);
             if wins {
                 self.winner_heard = Some(self.id);
-                self.process_forward(ctx, self.id, epoch, FwdItem::Winner { id: self.id });
+                let win = ElectionMsg::fwd(self.id, epoch, 0, FwdItem::Winner { id: self.id });
+                self.process_forward(ctx, win);
             }
         }
         // Otherwise stay active; the next Walk segment doubles the guess.
@@ -419,15 +411,7 @@ impl ElectionNode {
                 // welle-lint: allow(no-lib-unwrap) — invariant: enter_epoch for this (origin, epoch) succeeded lines above with the same walk_len
                 .expect("trail just created")
                 .record_out(step, Hop::Via(port));
-            ctx.send(
-                port,
-                ElectionMsg::Walk {
-                    origin,
-                    epoch,
-                    remaining: remaining - 1,
-                    count: cnt,
-                },
-            );
+            ctx.send(port, ElectionMsg::walk(origin, epoch, remaining - 1, cnt));
         }
     }
 
@@ -441,8 +425,23 @@ impl ElectionNode {
         origin: u64,
         epoch: u32,
         step: u32,
-        item: RevItem,
+        item: RevItem<'_>,
     ) {
+        self.route_reverse(ctx, ElectionMsg::rev(origin, epoch, step, item));
+    }
+
+    /// Routes a reverse unit one hop: deliver at the origin, relay along
+    /// the trail (re-addressed, sharing any interned id run), or drop.
+    fn route_reverse(&mut self, ctx: &mut Context<'_, ElectionMsg>, msg: ElectionMsg) {
+        let MsgView::Rev {
+            origin,
+            epoch,
+            step,
+            ..
+        } = msg.view()
+        else {
+            return;
+        };
         let route = match self.trails.at_epoch(origin, epoch) {
             Some(trail) => trail.reverse_route(step),
             None => ReverseRoute::Broken,
@@ -450,21 +449,15 @@ impl ElectionNode {
         match route {
             ReverseRoute::AtOrigin => {
                 if self.id == origin {
-                    self.deliver_to_contender(ctx, epoch, item);
+                    if let MsgView::Rev { item, .. } = msg.view() {
+                        self.deliver_to_contender(ctx, epoch, item);
+                    }
                 } else {
                     self.stats.broken_routes += 1;
                 }
             }
             ReverseRoute::Forward(port, next_step) => {
-                ctx.send(
-                    port,
-                    ElectionMsg::Rev {
-                        origin,
-                        epoch,
-                        step: next_step,
-                        item,
-                    },
-                );
+                ctx.send(port, msg.with_step(next_step));
             }
             ReverseRoute::Broken => self.stats.broken_routes += 1,
         }
@@ -474,7 +467,7 @@ impl ElectionNode {
         &mut self,
         ctx: &mut Context<'_, ElectionMsg>,
         epoch: u32,
-        item: RevItem,
+        item: RevItem<'_>,
     ) {
         match item {
             RevItem::ProxyInfo { proxy_id, count } => {
@@ -487,14 +480,14 @@ impl ElectionNode {
             RevItem::KnownContenders { ids } => {
                 if let Some(c) = &mut self.contender {
                     if c.active && epoch == self.cur_epoch {
-                        c.i2.extend(ids);
+                        c.i2.extend(ids.iter().copied());
                     }
                 }
             }
             RevItem::R3Contenders { ids } => {
                 if let Some(c) = &mut self.contender {
                     if c.active && epoch == self.cur_epoch {
-                        c.i4_extra.extend(ids);
+                        c.i4_extra.extend(ids.iter().copied());
                     }
                 }
             }
@@ -512,7 +505,8 @@ impl ElectionNode {
         if self.contender.is_some() {
             if let Some(trail) = self.trails.current(self.id) {
                 let epoch = trail.epoch();
-                self.process_forward(ctx, self.id, epoch, FwdItem::Winner { id: winner });
+                let m = ElectionMsg::fwd(self.id, epoch, 0, FwdItem::Winner { id: winner });
+                self.process_forward(ctx, m);
             }
         }
     }
@@ -521,17 +515,16 @@ impl ElectionNode {
     // Forward routing (contender → proxies)
     // ------------------------------------------------------------------
 
-    fn process_forward(
-        &mut self,
-        ctx: &mut Context<'_, ElectionMsg>,
-        origin: u64,
-        epoch: u32,
-        item: FwdItem,
-    ) {
-        let key = ElectionMsg::fwd_dedup_key(origin, &item);
+    fn process_forward(&mut self, ctx: &mut Context<'_, ElectionMsg>, msg: ElectionMsg) {
+        let key = match msg.view() {
+            MsgView::Fwd { origin, item, .. } => ElectionMsg::fwd_dedup_key(origin, &item),
+            _ => return,
+        };
         if !self.fwd_seen.insert(key) {
             return;
         }
+        let origin = msg.origin();
+        let epoch = msg.epoch();
         let Some(trail) = self.trails.at_epoch(origin, epoch) else {
             self.stats.broken_routes += 1;
             return;
@@ -542,18 +535,15 @@ impl ElectionNode {
             .get(&origin)
             .is_some_and(|r| r.epoch == epoch);
         for port in ports {
-            ctx.send(
-                port,
-                ElectionMsg::Fwd {
-                    origin,
-                    epoch,
-                    step: 0,
-                    item: item.clone(),
-                },
-            );
+            // Re-address to step 0 for the next hop; interned id runs
+            // are shared, not re-cloned per edge.
+            ctx.send(port, msg.with_step(0));
         }
-        match item {
-            FwdItem::StopMark => {
+        match msg.view() {
+            MsgView::Fwd {
+                item: FwdItem::StopMark,
+                ..
+            } => {
                 self.trails.finalize(origin, epoch);
                 if let Some(rec) = self.proxies.get_mut(&origin) {
                     if rec.epoch == epoch {
@@ -561,16 +551,19 @@ impl ElectionNode {
                     }
                 }
             }
-            FwdItem::I2Ids { ids } => {
-                if is_proxy {
-                    self.i3_acc.extend(ids);
-                }
+            MsgView::Fwd {
+                item: FwdItem::I2Ids { ids },
+                ..
+            } if is_proxy => {
+                self.i3_acc.extend(ids.iter().copied());
             }
-            FwdItem::Winner { id } => {
-                if is_proxy {
-                    self.hear_winner_as_proxy(ctx, id);
-                }
+            MsgView::Fwd {
+                item: FwdItem::Winner { id },
+                ..
+            } if is_proxy => {
+                self.hear_winner_as_proxy(ctx, id);
             }
+            _ => {}
         }
     }
 
@@ -604,25 +597,20 @@ impl ElectionNode {
         port: Port,
         msg: ElectionMsg,
     ) {
-        match msg {
-            ElectionMsg::Walk {
-                origin,
-                epoch,
-                remaining,
-                count,
-            } => self.handle_walk_tokens(ctx, origin, epoch, remaining, count, Hop::Via(port)),
-            ElectionMsg::Rev {
-                origin,
-                epoch,
-                step,
-                item,
-            } => self.send_reverse(ctx, origin, epoch, step, item),
-            ElectionMsg::Fwd {
-                origin,
-                epoch,
-                item,
-                ..
-            } => self.process_forward(ctx, origin, epoch, item),
+        if let MsgView::Walk {
+            origin,
+            epoch,
+            remaining,
+            count,
+        } = msg.view()
+        {
+            self.handle_walk_tokens(ctx, origin, epoch, remaining, count, Hop::Via(port));
+            return;
+        }
+        if msg.is_rev() {
+            self.route_reverse(ctx, msg);
+        } else {
+            self.process_forward(ctx, msg);
         }
     }
 }

@@ -99,6 +99,12 @@ pub struct ElectionReport {
     /// synchronous executors and under the zero-latency async model;
     /// stretched past it when deliveries complete late.
     pub virtual_time: f64,
+    /// High-water mark of simultaneously queued messages in the
+    /// engine's recycling message arena — the run's peak memory
+    /// footprint in messages (see
+    /// [`Executor::peak_arena_slots`]). Not a CSV column: the
+    /// on-disk row format is pinned by resume manifests.
+    pub peak_arena_slots: u64,
     /// Active rounds attributed to each election phase (indexed by
     /// [`Phase::tag`]: walk, r1, r2, r3, wait), from the run's
     /// telemetry layer. All zeros unless the run enabled telemetry
@@ -241,7 +247,10 @@ pub(crate) fn run_resolved(
 /// A serial engine recycled across trials: the campaign scheduler keeps
 /// one of these per worker, so a thousand-trial sweep builds (at most)
 /// one engine per worker thread and every later trial reuses its arenas
-/// via [`Engine::reset_with`] instead of re-allocating.
+/// via [`Engine::reset_with`] instead of re-allocating. Reuse also
+/// bounds memory in mixed-scale campaigns: a reset sheds any message
+/// arena left far oversized for the next trial's graph (see the
+/// high-water shrink rule on [`Engine::reset_with`]).
 pub(crate) struct PooledEngine {
     engine: Option<Engine<ElectionNode>>,
     /// Engines actually constructed (0 or 1) — summed across workers
@@ -414,6 +423,7 @@ fn summarize<E: Executor<ElectionNode>>(
         dropped_tokens,
         broken_routes,
         virtual_time: engine.virtual_time(),
+        peak_arena_slots: engine.peak_arena_slots(),
         phase_rounds,
         phase_messages,
         telemetry,
@@ -551,11 +561,14 @@ mod tests {
         }
         assert_eq!(pool.built, 1, "four trials, one engine");
         assert!(grown > 0);
-        // Reuse never sheds capacity (it may still grow for heavier
-        // seeds; the repeat of seed 1 at the end is fully warm).
+        // Same-scale reuse keeps the arenas warm: reset only sheds a
+        // message arena whose capacity exceeds the shrink ratio over the
+        // graph's needs (impossible here — the trials share one graph
+        // and every arena stays under the shrink floor), so the repeat
+        // of seed 1 at the end re-allocates nothing.
         assert!(
             pool.arena_capacity() >= grown,
-            "reuse must keep the first trial's arena capacity"
+            "same-scale reuse must keep the first trial's arena capacity"
         );
     }
 

@@ -8,9 +8,15 @@
 //! *valid prefix* of the full output — which is all a resume needs: on
 //! [`Campaign::resume`](crate::Campaign::resume) the file is parsed
 //! back, each completed row is checked against the expected trial
-//! order, a torn trailing line is discarded, and the campaign restarts
+//! order, a torn trailing row is discarded, and the campaign restarts
 //! at the first missing trial. The resumed file is byte-identical to an
 //! uninterrupted run's.
+//!
+//! Rows are parsed as RFC 4180 *logical* rows: a quoted scenario label
+//! may contain embedded newlines, so row boundaries are found by quote
+//! parity rather than by physical line — and a tear anywhere inside
+//! such a row (even right after one of its interior newlines) still
+//! reads as torn, not as a corrupt manifest.
 
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
@@ -65,9 +71,12 @@ impl StreamSink {
 
     /// Opens `path` as a resume manifest: validates the header and every
     /// completed row against `expected` (the campaign's full trial order
-    /// as `(scenario label, seed)`), drops a torn trailing line, rewrites
+    /// as `(scenario label, seed)`), drops a torn trailing row, rewrites
     /// the valid prefix, and returns the append-positioned sink together
     /// with the recovered trials. A missing file resumes as a fresh run.
+    /// Rows are RFC 4180 logical rows — a quoted label's embedded
+    /// newlines do not split them — and a row is only complete once its
+    /// quotes are balanced and it ends in a newline.
     ///
     /// # Errors
     ///
@@ -132,10 +141,24 @@ impl StreamSink {
         let mut kept = String::with_capacity(text.len());
         kept.push_str(header);
         kept.push('\n');
-        for (i, line) in lines.enumerate() {
-            let Some(row) = line.strip_suffix('\n') else {
-                break; // torn trailing line: the trial never completed
-            };
+        // RFC 4180 quoted fields may contain newlines (scenario labels
+        // pass through `csv::escape`), so one *logical* row can span
+        // several physical lines. Assemble rows by quote parity: a row
+        // is complete only once its cumulative `"` count is even and it
+        // ends in a newline. Whatever is left in `buf` at end of input —
+        // no trailing newline, or a quote still open — is the torn
+        // trailing row of an interrupted run, discarded so its trial
+        // re-runs.
+        let mut i = 0usize;
+        let mut buf = String::new();
+        let mut quotes_even = true;
+        for line in lines {
+            buf.push_str(line);
+            quotes_even ^= line.bytes().filter(|&b| b == b'"').count() % 2 == 1;
+            if !quotes_even || !buf.ends_with('\n') {
+                continue; // the row continues on the next physical line
+            }
+            let row = buf.strip_suffix('\n').unwrap_or(&buf);
             let row = row.trim_end_matches('\r');
             let fields = csv::split_row(row)
                 .filter(|f| f.len() == header_cols.len())
@@ -173,6 +196,8 @@ impl StreamSink {
             });
             kept.push_str(row);
             kept.push('\n');
+            i += 1;
+            buf.clear();
         }
 
         // Rewrite the valid prefix (dropping any torn tail) and leave

@@ -91,12 +91,12 @@ proptest! {
         let cap = p.bandwidth_bits.unwrap();
         let id = id % p.id_max + 1;
         let msgs = [
-            ElectionMsg::Walk { origin: id, epoch, remaining: step, count: p.walks_per_contender },
-            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::ProxyInfo { proxy_id: id, count: 1_000 } },
-            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::KnownContenders { ids: vec![p.id_max] } },
-            ElectionMsg::Rev { origin: id, epoch, step, item: RevItem::Winner { id: p.id_max } },
-            ElectionMsg::Fwd { origin: id, epoch, step, item: FwdItem::I2Ids { ids: vec![p.id_max] } },
-            ElectionMsg::Fwd { origin: id, epoch, step, item: FwdItem::StopMark },
+            ElectionMsg::walk(id, epoch, step, p.walks_per_contender),
+            ElectionMsg::rev(id, epoch, step, RevItem::ProxyInfo { proxy_id: id, count: 1_000 }),
+            ElectionMsg::rev(id, epoch, step, RevItem::KnownContenders { ids: &[p.id_max] }),
+            ElectionMsg::rev(id, epoch, step, RevItem::Winner { id: p.id_max }),
+            ElectionMsg::fwd(id, epoch, step, FwdItem::I2Ids { ids: &[p.id_max] }),
+            ElectionMsg::fwd(id, epoch, step, FwdItem::StopMark),
         ];
         for m in msgs {
             prop_assert!(m.bit_size() <= cap, "{m:?}: {} > {cap}", m.bit_size());
@@ -109,12 +109,12 @@ proptest! {
         let p = Params::derive(n, cfg);
         let cap = p.bandwidth_bits.unwrap();
         let ids = vec![p.id_max; p.frag];
-        let m = ElectionMsg::Rev {
-            origin: p.id_max,
-            epoch: 30,
-            step: 1 << 20,
-            item: RevItem::KnownContenders { ids },
-        };
+        let m = ElectionMsg::rev(
+            p.id_max,
+            30,
+            1 << 20,
+            RevItem::KnownContenders { ids: &ids },
+        );
         prop_assert!(m.bit_size() <= cap, "{} > {cap}", m.bit_size());
     }
 

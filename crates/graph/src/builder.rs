@@ -67,7 +67,7 @@ impl GraphBuilder {
 
     /// Returns `true` if the undirected edge `(u, v)` has been added.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        let key = Self::key(u as u32, v as u32);
+        let key = Self::key(narrow(u), narrow(v));
         self.seen.contains(&key)
     }
 
@@ -88,11 +88,12 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        let key = Self::key(u as u32, v as u32);
+        let (u32u, u32v) = (narrow(u), narrow(v));
+        let key = Self::key(u32u, u32v);
         if !self.seen.insert(key) {
             return Err(GraphError::DuplicateEdge { u, v });
         }
-        self.edges.push((u as u32, v as u32));
+        self.edges.push((u32u, u32v));
         Ok(())
     }
 
@@ -101,7 +102,7 @@ impl GraphBuilder {
     /// lower-bound construction removes two intra-clique edges to keep node
     /// degrees uniform).
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
-        let key = Self::key(u as u32, v as u32);
+        let key = Self::key(narrow(u), narrow(v));
         if self.seen.remove(&key) {
             let pos = self
                 .edges
@@ -140,6 +141,52 @@ impl GraphBuilder {
             (v, u)
         }
     }
+}
+
+/// Narrows a node index into the `u32` edge-list domain.
+///
+/// Callers range-check indices against `n` before narrowing, and CSR
+/// construction independently asserts the whole index space fits `u32`,
+/// so the checked conversion only fires on graphs the CSR layout could
+/// not represent anyway.
+#[inline]
+pub(crate) fn narrow(x: usize) -> u32 {
+    // welle-lint: allow(no-lib-unwrap) — documented invariant: node indices are bounded by the u32 CSR index-space assert at graph construction
+    u32::try_from(x).expect("node index fits in u32")
+}
+
+/// Freezes a *structurally valid* edge list straight into CSR form:
+/// endpoints `< n`, no self-loops, no duplicates — guaranteed by the
+/// calling generator's construction, not re-checked in release builds.
+///
+/// This is the structured generators' path to writing CSR directly: it
+/// skips [`GraphBuilder`]'s per-edge hash-set bookkeeping, so building an
+/// `n = 10⁷` family allocates the CSR columns plus one 8-byte-per-edge
+/// staging list and nothing else. Debug builds re-verify the invariants.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] if `n == 0`.
+pub(crate) fn from_structured_edges(n: usize, edges: Vec<(u32, u32)>) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = HashSet::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            debug_assert!(u != v, "structured generator produced self-loop at v{u}");
+            debug_assert!(
+                (u as usize) < n && (v as usize) < n,
+                "structured generator produced out-of-range edge (v{u}, v{v}) for n = {n}"
+            );
+            debug_assert!(
+                seen.insert(GraphBuilder::key(u, v)),
+                "structured generator produced duplicate edge (v{u}, v{v})"
+            );
+        }
+    }
+    Ok(Graph::from_validated_edges(n, edges))
 }
 
 /// Convenience: builds a graph directly from an edge list.

@@ -2,7 +2,7 @@
 
 use rand::{Rng, RngExt};
 
-use crate::builder::GraphBuilder;
+use crate::builder::{from_structured_edges, narrow};
 use crate::error::GraphError;
 use crate::graph::Graph;
 
@@ -24,11 +24,11 @@ pub fn ring(n: usize) -> Result<Graph, GraphError> {
             reason: format!("ring needs n >= 3, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n);
+    let mut edges = Vec::with_capacity(n);
     for u in 0..n {
-        b.add_edge(u, (u + 1) % n)?;
+        edges.push((narrow(u), narrow((u + 1) % n)));
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// Path `P_n` on `n >= 2` nodes.
@@ -42,11 +42,11 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
             reason: format!("path needs n >= 2, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    let mut edges = Vec::with_capacity(n - 1);
     for u in 0..n - 1 {
-        b.add_edge(u, u + 1)?;
+        edges.push((narrow(u), narrow(u + 1)));
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// Complete graph `K_n` — constant conductance, `t_mix = O(1)`; the setting
@@ -61,13 +61,13 @@ pub fn clique(n: usize) -> Result<Graph, GraphError> {
             reason: format!("clique needs n >= 2, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u, v)?;
+            edges.push((narrow(u), narrow(v)));
         }
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// Star `S_n`: node 0 is the hub, nodes `1..n` are leaves.
@@ -81,11 +81,11 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
             reason: format!("star needs n >= 2, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    let mut edges = Vec::with_capacity(n - 1);
     for leaf in 1..n {
-        b.add_edge(0, leaf)?;
+        edges.push((0, narrow(leaf)));
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// Complete binary tree on `n` nodes (heap layout: children of `i` are
@@ -100,11 +100,11 @@ pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
             reason: format!("binary tree needs n >= 2, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    let mut edges = Vec::with_capacity(n - 1);
     for child in 1..n {
-        b.add_edge((child - 1) / 2, child)?;
+        edges.push((narrow((child - 1) / 2), narrow(child)));
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// Uniform random recursive tree: node `i > 0` attaches to a uniformly
@@ -120,12 +120,12 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Graph, Grap
             reason: format!("random tree needs n >= 2, got {n}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    let mut edges = Vec::with_capacity(n - 1);
     for child in 1..n {
         let parent = rng.random_range(0..child);
-        b.add_edge(parent, child)?;
+        edges.push((narrow(parent), narrow(child)));
     }
-    let mut g = b.build()?;
+    let mut g = from_structured_edges(n, edges)?;
     g.shuffle_ports(rng);
     Ok(g)
 }

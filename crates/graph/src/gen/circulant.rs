@@ -4,7 +4,7 @@
 //! jumps mixing in few steps — useful for sweeping conductance
 //! continuously in the experiments.
 
-use crate::builder::GraphBuilder;
+use crate::builder::{from_structured_edges, narrow};
 use crate::error::GraphError;
 use crate::graph::Graph;
 
@@ -46,13 +46,13 @@ pub fn circulant(n: usize, jumps: &[usize]) -> Result<Graph, GraphError> {
             });
         }
     }
-    let mut b = GraphBuilder::with_capacity(n, n * jumps.len());
+    let mut edges = Vec::with_capacity(n * jumps.len());
     for u in 0..n {
         for &s in jumps {
-            b.add_edge(u, (u + s) % n)?;
+            edges.push((narrow(u), narrow((u + s) % n)));
         }
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 #[cfg(test)]

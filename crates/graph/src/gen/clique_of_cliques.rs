@@ -11,7 +11,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::builder::GraphBuilder;
+use crate::builder::{narrow, GraphBuilder};
 use crate::error::GraphError;
 use crate::gen::random::random_regular;
 use crate::graph::Graph;
@@ -159,7 +159,7 @@ impl CliqueOfCliques {
         // uniformly placed among each clique's ~s² ports.
         graph.shuffle_ports(rng);
 
-        let clique_of: Vec<u32> = (0..n).map(|u| (u / s) as u32).collect();
+        let clique_of: Vec<u32> = (0..n).map(|u| narrow(u / s)).collect();
         let inter_edge_flags = graph
             .edges()
             .map(|(_, u, v)| clique_of[u.index()] != clique_of[v.index()])

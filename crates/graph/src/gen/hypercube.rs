@@ -1,7 +1,7 @@
 //! Hypercube graphs — the paper's second headline family
 //! (`t_mix = O(log n log log n)`, §1 "Results").
 
-use crate::builder::GraphBuilder;
+use crate::builder::{from_structured_edges, narrow};
 use crate::error::GraphError;
 use crate::graph::Graph;
 
@@ -25,16 +25,16 @@ pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
         });
     }
     let n = 1usize << dim;
-    let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
+    let mut edges = Vec::with_capacity(n * dim as usize / 2);
     for u in 0..n {
         for bit in 0..dim {
             let v = u ^ (1usize << bit);
             if u < v {
-                b.add_edge(u, v)?;
+                edges.push((narrow(u), narrow(v)));
             }
         }
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
 
 use crate::analysis;
-use crate::builder::GraphBuilder;
+use crate::builder::{from_structured_edges, narrow};
 use crate::error::GraphError;
 use crate::graph::Graph;
 
@@ -36,14 +36,17 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Grap
             reason: format!("gnp needs p in [0, 1], got {p}"),
         });
     }
-    let mut b = GraphBuilder::new(n);
+    // Both sampling paths below enumerate strictly increasing pair
+    // indices, so the edge stream is duplicate- and loop-free by
+    // construction and can be frozen into CSR directly.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
     if p >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                b.add_edge(u, v)?;
+                edges.push((narrow(u), narrow(v)));
             }
         }
-        return b.build();
+        return from_structured_edges(n, edges);
     }
     if p > 0.0 {
         // Iterate over the strictly-upper-triangular pair index with
@@ -63,11 +66,11 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Grap
                 break;
             }
             let (a, bnode) = pair_from_index(n, idx);
-            b.add_edge(a, bnode)?;
+            edges.push((narrow(a), narrow(bnode)));
             idx += 1;
         }
     }
-    let mut g = b.build()?;
+    let mut g = from_structured_edges(n, edges)?;
     g.shuffle_ports(rng);
     Ok(g)
 }
@@ -140,18 +143,18 @@ pub fn random_regular<R: Rng + ?Sized>(
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
     for _ in 0..MAX_ATTEMPTS {
         stubs.clear();
-        for u in 0..n as u32 {
+        for u in 0..n {
+            let stub = narrow(u);
             for _ in 0..d {
-                stubs.push(u);
+                stubs.push(stub);
             }
         }
         stubs.shuffle(rng);
         if let Some(edges) = pair_with_repair(&stubs, rng) {
-            let mut b = GraphBuilder::with_capacity(n, edges.len());
-            for (u, v) in edges {
-                b.add_edge(u as usize, v as usize)?;
-            }
-            let mut g = b.build()?;
+            // The repair loop's own seen-set guarantees a loop- and
+            // duplicate-free edge list, so it freezes into CSR directly
+            // — no second validation pass over n·d/2 edges.
+            let mut g = from_structured_edges(n, edges)?;
             if analysis::is_connected(&g) {
                 g.shuffle_ports(rng);
                 return Ok(g);

@@ -1,7 +1,7 @@
 //! 2-D tori and grids — moderately connected families
 //! (`t_mix = Θ(n)` for the √n×√n torus) used as contrast to expanders.
 
-use crate::builder::GraphBuilder;
+use crate::builder::{from_structured_edges, narrow};
 use crate::error::GraphError;
 use crate::graph::Graph;
 
@@ -24,15 +24,15 @@ pub fn torus2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
         });
     }
     let n = rows * cols;
-    let mut b = GraphBuilder::with_capacity(n, 2 * n);
-    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * n);
+    let id = |r: usize, c: usize| narrow(r * cols + c);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols))?;
-            b.add_edge(id(r, c), id((r + 1) % rows, c))?;
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
+            edges.push((id(r, c), id((r + 1) % rows, c)));
         }
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 /// `rows × cols` grid without wrap-around.
@@ -47,19 +47,19 @@ pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
         });
     }
     let n = rows * cols;
-    let mut b = GraphBuilder::with_capacity(n, 2 * n);
-    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * n);
+    let id = |r: usize, c: usize| narrow(r * cols + c);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1))?;
+                edges.push((id(r, c), id(r, c + 1)));
             }
             if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c))?;
+                edges.push((id(r, c), id(r + 1, c)));
             }
         }
     }
-    b.build()
+    from_structured_edges(n, edges)
 }
 
 #[cfg(test)]

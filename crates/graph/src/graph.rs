@@ -25,7 +25,10 @@ use crate::types::{EdgeId, NodeId, Port};
 #[derive(Clone, Debug)]
 pub struct Graph {
     /// CSR offsets: `offsets[u]..offsets[u + 1]` indexes `u`'s adjacency.
-    offsets: Vec<usize>,
+    /// Stored as `u32` — construction asserts `2m ≤ u32::MAX`, so the
+    /// offset table is half the size of a `usize` layout and an
+    /// `n = 10⁷` sparse graph's CSR fits comfortably in memory.
+    offsets: Vec<u32>,
     /// Flattened neighbour lists; `neighbors[offsets[u] + p]` is the node
     /// behind `u`'s port `p`.
     neighbors: Vec<NodeId>,
@@ -34,19 +37,21 @@ pub struct Graph {
     rev_ports: Vec<Port>,
     /// Undirected edge id of the edge behind each slot.
     edge_ids: Vec<EdgeId>,
-    /// Packed per-directed-edge records (derived from the arrays above;
-    /// rebuilt after port shuffles). Simulator hot paths resolve one
-    /// directed index with a single lookup instead of four, and
-    /// `dir_info[dir].src` resolves a [`Graph::directed_index`] back to
-    /// its owner in `O(1)` instead of a binary search.
-    dir_info: Vec<DirInfo>,
+    /// Owner of each slot: `srcs[offsets[u] + p] == u`. The only derived
+    /// column the struct-of-arrays layout keeps: it resolves a
+    /// [`Graph::directed_index`] back to its source node in `O(1)`, and
+    /// the source port falls out as `dir - offsets[src]`. Together with
+    /// the three columns above this replaces the former 20-byte packed
+    /// per-directed-edge record cache at 4 bytes per directed edge, and
+    /// it survives port shuffles unchanged (shuffles permute slots only
+    /// within each node's own range).
+    srcs: Vec<NodeId>,
     /// Endpoints of each undirected edge (canonical order: smaller first).
     endpoints: Vec<(NodeId, NodeId)>,
 }
 
-/// Everything a simulator needs about one directed edge, packed so
-/// message delivery costs a single indexed load (see
-/// [`Graph::directed_info`]).
+/// Everything a simulator needs about one directed edge, assembled from
+/// the graph's struct-of-arrays columns by [`Graph::directed_info`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DirInfo {
     /// Source node (the sender).
@@ -66,71 +71,66 @@ impl Graph {
     /// [`crate::GraphBuilder`] (in-range, no loops, no duplicates).
     pub(crate) fn from_validated_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
         let m = edges.len();
-        let mut degree = vec![0usize; n];
+        assert!(
+            n <= u32::MAX as usize,
+            "graph has {n} nodes; node indices must fit the u32 CSR index space"
+        );
+        assert!(
+            m.checked_mul(2).is_some_and(|t| t <= u32::MAX as usize),
+            "graph has {m} edges; the directed-edge count 2m must fit the u32 CSR index space"
+        );
+        let mut degree = vec![0u32; n];
         for &(u, v) in &edges {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for d in &degree {
-            acc += d;
+        let mut acc = 0u32;
+        offsets.push(0u32);
+        for &d in &degree {
+            acc += d; // cannot overflow: 2m ≤ u32::MAX asserted above
             offsets.push(acc);
         }
-        let total = acc;
+        let total = acc as usize;
         let mut neighbors = vec![NodeId::default(); total];
         let mut rev_ports = vec![Port::default(); total];
         let mut edge_ids = vec![EdgeId::default(); total];
+        let mut srcs = vec![NodeId::default(); total];
         let mut endpoints = Vec::with_capacity(m);
-        let mut cursor = offsets[..n].to_vec();
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
 
         for (idx, &(u, v)) in edges.iter().enumerate() {
-            let (u, v) = (u as usize, v as usize);
             let eid = EdgeId::new(idx);
-            let su = cursor[u];
-            let sv = cursor[v];
-            cursor[u] += 1;
-            cursor[v] += 1;
-            neighbors[su] = NodeId::new(v);
-            neighbors[sv] = NodeId::new(u);
+            let su = cursor[u as usize] as usize;
+            let sv = cursor[v as usize] as usize;
+            cursor[u as usize] += 1;
+            cursor[v as usize] += 1;
+            neighbors[su] = NodeId::from(v);
+            neighbors[sv] = NodeId::from(u);
             edge_ids[su] = eid;
             edge_ids[sv] = eid;
-            rev_ports[su] = Port::new(sv - offsets[v]);
-            rev_ports[sv] = Port::new(su - offsets[u]);
+            rev_ports[su] = Port::new(sv - offsets[v as usize] as usize);
+            rev_ports[sv] = Port::new(su - offsets[u as usize] as usize);
+            srcs[su] = NodeId::from(u);
+            srcs[sv] = NodeId::from(v);
             let (a, b) = if u <= v { (u, v) } else { (v, u) };
-            endpoints.push((NodeId::new(a), NodeId::new(b)));
+            endpoints.push((NodeId::from(a), NodeId::from(b)));
         }
 
-        let mut g = Graph {
+        Graph {
             offsets,
             neighbors,
             rev_ports,
             edge_ids,
-            dir_info: Vec::new(),
+            srcs,
             endpoints,
-        };
-        g.rebuild_dir_info();
-        g
+        }
     }
 
-    /// Rebuilds the packed [`DirInfo`] cache from the CSR arrays.
-    fn rebuild_dir_info(&mut self) {
-        let mut info = Vec::with_capacity(self.neighbors.len());
-        for u in 0..self.n() {
-            let base = self.offsets[u];
-            for p in 0..self.offsets[u + 1] - base {
-                let slot = base + p;
-                info.push(DirInfo {
-                    src: NodeId::new(u),
-                    src_port: Port::new(p),
-                    dst: self.neighbors[slot],
-                    dst_port: self.rev_ports[slot],
-                    edge: self.edge_ids[slot],
-                });
-            }
-        }
-        self.dir_info = info;
+    /// CSR offset of node `u` as a slice index.
+    #[inline]
+    fn off(&self, u: usize) -> usize {
+        self.offsets[u] as usize
     }
 
     /// Number of nodes.
@@ -148,7 +148,7 @@ impl Graph {
     /// Degree of node `u` (also the number of its ports).
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.offsets[u.index() + 1] - self.offsets[u.index()]
+        self.off(u.index() + 1) - self.off(u.index())
     }
 
     /// Total volume `Σ_v deg(v) = 2m` (§2's `Vol(V)`).
@@ -204,7 +204,7 @@ impl Graph {
     /// Slice of `u`'s neighbours in port order.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+        &self.neighbors[self.off(u.index())..self.off(u.index() + 1)]
     }
 
     /// Iterator over all node ids `0..n`.
@@ -287,15 +287,17 @@ impl Graph {
     }
 
     /// Source `(node, port)` of the directed edge with index `dir` —
-    /// the inverse of [`Graph::directed_index`], in `O(1)`.
+    /// the inverse of [`Graph::directed_index`], in `O(1)`: the owner
+    /// comes from the `srcs` column and the port from the slot's offset
+    /// within the owner's contiguous range.
     ///
     /// # Panics
     ///
     /// Panics if `dir >= directed_edge_count()`.
     #[inline]
     pub fn directed_source(&self, dir: usize) -> (NodeId, Port) {
-        let info = self.dir_info[dir];
-        (info.src, info.src_port)
+        let src = self.srcs[dir];
+        (src, Port::new(dir - self.off(src.index())))
     }
 
     /// Target `(node, arrival port)` of the directed edge with index
@@ -320,16 +322,26 @@ impl Graph {
         self.edge_ids[dir]
     }
 
-    /// The packed record of the directed edge with index `dir`: source
-    /// and target `(node, port)` plus the undirected edge id, in one
-    /// lookup. This is the simulator's per-message delivery primitive.
+    /// The full record of the directed edge with index `dir`: source
+    /// and target `(node, port)` plus the undirected edge id. This is
+    /// the simulator's per-message delivery primitive, assembled on the
+    /// fly from the struct-of-arrays columns — each column is an
+    /// independent 4-byte array, so hot paths that only need some of
+    /// the fields (say the target) pull only those columns into cache.
     ///
     /// # Panics
     ///
     /// Panics if `dir >= directed_edge_count()`.
     #[inline]
     pub fn directed_info(&self, dir: usize) -> DirInfo {
-        self.dir_info[dir]
+        let src = self.srcs[dir];
+        DirInfo {
+            src,
+            src_port: Port::new(dir - self.off(src.index())),
+            dst: self.neighbors[dir],
+            dst_port: self.rev_ports[dir],
+            edge: self.edge_ids[dir],
+        }
     }
 
     /// First directed index of node `u` (its port-0 slot); `u`'s ports
@@ -339,7 +351,7 @@ impl Graph {
     /// compute the directed index once per node instead of once per send.
     #[inline]
     pub fn directed_base(&self, u: NodeId) -> usize {
-        self.offsets[u.index()]
+        self.off(u.index())
     }
 
     /// Permutes every node's port numbering uniformly at random.
@@ -352,7 +364,7 @@ impl Graph {
         // Build the permuted adjacency, then recompute reverse ports.
         let mut perms: Vec<Vec<usize>> = Vec::with_capacity(n);
         for u in 0..n {
-            let deg = self.offsets[u + 1] - self.offsets[u];
+            let deg = self.off(u + 1) - self.off(u);
             let mut perm: Vec<usize> = (0..deg).collect();
             perm.shuffle(rng);
             perms.push(perm);
@@ -362,8 +374,8 @@ impl Graph {
         // new_slot_of[old slot] -> new slot (global)
         let mut new_slot_of = vec![0usize; self.neighbors.len()];
         for (u, perm) in perms.iter().enumerate() {
-            let base = self.offsets[u];
-            let deg = self.offsets[u + 1] - base;
+            let base = self.off(u);
+            let deg = self.off(u + 1) - base;
             for old_p in 0..deg {
                 // perm[old_p] = new port for the entry previously at old_p
                 new_slot_of[base + old_p] = base + perm[old_p];
@@ -376,8 +388,8 @@ impl Graph {
         // Recompute reverse ports from scratch via per-edge slot tracking.
         let mut edge_slots: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); self.m()];
         for u in 0..n {
-            let base = self.offsets[u];
-            let deg = self.offsets[u + 1] - base;
+            let base = self.off(u);
+            let deg = self.off(u + 1) - base;
             for p in 0..deg {
                 let slot = base + p;
                 let e = self.edge_ids[slot].index();
@@ -391,14 +403,13 @@ impl Graph {
         for &(s1, s2) in &edge_slots {
             debug_assert!(s2 != usize::MAX, "every edge has two slots");
             // Shuffling permutes slots only within each node's own range,
-            // so the pre-shuffle `dir_info[slot].src` still names each
-            // slot's owner (the cache is rebuilt below).
-            let u1 = self.dir_info[s1].src.index();
-            let u2 = self.dir_info[s2].src.index();
-            self.rev_ports[s1] = Port::new(s2 - self.offsets[u2]);
-            self.rev_ports[s2] = Port::new(s1 - self.offsets[u1]);
+            // so the `srcs` column still names each slot's owner and
+            // needs no rebuild.
+            let u1 = self.srcs[s1].index();
+            let u2 = self.srcs[s2].index();
+            self.rev_ports[s1] = Port::new(s2 - self.off(u2));
+            self.rev_ports[s2] = Port::new(s1 - self.off(u1));
         }
-        self.rebuild_dir_info();
     }
 
     #[inline]
@@ -408,7 +419,7 @@ impl Graph {
             p.index() < d,
             "port {p} out of range for node {u} with degree {d}"
         );
-        self.offsets[u.index()] + p.index()
+        self.off(u.index()) + p.index()
     }
 }
 

@@ -14,7 +14,7 @@
 //! | `tick-math-saturates` | raw `+`/`*` on `*_tick`/`due` virtual-time quantities |
 //! | `no-lib-unwrap` | `.unwrap()` / `.expect(` in non-test library code |
 //! | `no-float-eq` | `==`/`!=` on float expressions in seeded crates |
-//! | `no-narrowing-cast` | `as u32`/`as u16` on index expressions in the congest hot path |
+//! | `no-narrowing-cast` | `as u32`/`as u16` on index expressions in the congest hot path and the graph crate's u32 CSR helpers |
 //!
 //! The analyzer is a hand-rolled token scanner (the build is offline:
 //! no `syn`, no `dylint`), so checks are heuristic — which is exactly
@@ -68,7 +68,8 @@ pub enum Check {
     NoLibUnwrap,
     /// `==`/`!=` between float expressions in the seeded crates.
     NoFloatEq,
-    /// `as u32`/`as u16` narrowing on congest index expressions.
+    /// `as u32`/`as u16` narrowing on congest index expressions and on
+    /// the graph crate's u32 CSR index helpers.
     NoNarrowingCast,
 }
 
@@ -163,7 +164,14 @@ impl Check {
             Check::NoLibUnwrap => {
                 (rel.starts_with("src/") || rel.contains("/src/")) && !rel.starts_with("crates/bench")
             }
-            Check::NoNarrowingCast => rel.starts_with("crates/congest/src"),
+            Check::NoNarrowingCast => {
+                // The congest hot path, plus the graph crate since its
+                // CSR went u32-indexed: a truncating cast on a node,
+                // port, or offset there silently corrupts adjacency at
+                // n = 10⁶⁺ — narrowing must route through the checked
+                // constructors (`NodeId::new`, `builder::narrow`).
+                rel.starts_with("crates/congest/src") || rel.starts_with("crates/graph/src")
+            }
         }
     }
 }

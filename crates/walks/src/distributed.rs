@@ -32,6 +32,17 @@ pub enum FleetMsg {
     },
 }
 
+/// The empty token bundle: fills recycled engine arena slots (the
+/// [`Payload`] contract) and is never sent by the protocol.
+impl Default for FleetMsg {
+    fn default() -> Self {
+        FleetMsg::Token {
+            remaining: 0,
+            count: 0,
+        }
+    }
+}
+
 impl Payload for FleetMsg {
     fn bit_size(&self) -> usize {
         match self {

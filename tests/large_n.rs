@@ -13,11 +13,134 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
+use welle::congest::{LatencyModel, TelemetryConfig};
 use welle::core::{Campaign, CampaignSummary, Election, ElectionConfig, Exec, FaultPlan, Trial};
 use welle::graph::gen::{self, CliqueOfCliques, CliqueOfCliquesParams};
+use welle::graph::Graph;
 
 const N: usize = 100_000;
+
+/// CSV rows captured before the packed-message/SoA/bounded-arena engine
+/// rewrite (at commit `4f8d1b9`), with the exact recipe below. Any drift
+/// in these rows means the memory-layout work changed an observable —
+/// message bits, delivery order, RNG consumption — and is a bug.
+const GOLDEN_ROWS: [(&str, u64, &str); 6] = [
+    (
+        "hypercube4",
+        3,
+        "16,32,10,1,63443,3714,126515,243,254,4,3,0,0,0,254,11,49,76,102,16,137,624,1208,1473,272,true",
+    ),
+    (
+        "hypercube4",
+        11,
+        "16,32,9,1,61900,6043,212523,533,539,16,5,0,0,0,539,39,140,100,234,26,302,1245,1965,2287,244,true",
+    ),
+    (
+        "ring24",
+        5,
+        "24,24,15,1,329768,170920,7458220,8194,8208,256,9,0,0,0,8208,692,2067,530,4715,204,10908,39636,17068,99692,3616,true",
+    ),
+    (
+        "torus4x5",
+        7,
+        "20,40,15,1,157240,19074,748271,786,793,16,5,0,0,0,793,45,150,226,340,32,688,3068,6930,7801,587,true",
+    ),
+    (
+        "rr48x4",
+        1,
+        "48,96,15,1,5102334,84694,4194448,1850,1859,32,6,0,0,0,1859,98,413,354,950,44,3441,14738,27126,37139,2250,true",
+    ),
+    (
+        "clique12",
+        9,
+        "12,66,9,1,19484,1978,63271,144,148,4,3,0,0,0,148,11,33,41,51,12,89,380,686,720,103,true",
+    ),
+];
+
+fn golden_graph(name: &str) -> Arc<Graph> {
+    match name {
+        "hypercube4" => Arc::new(gen::hypercube(4).unwrap()),
+        "ring24" => Arc::new(gen::ring(24).unwrap()),
+        "torus4x5" => Arc::new(gen::torus2d(4, 5).unwrap()),
+        "rr48x4" => {
+            let mut rng = StdRng::seed_from_u64(11);
+            Arc::new(gen::random_regular(48, 4, &mut rng).unwrap())
+        }
+        "clique12" => Arc::new(gen::clique(12).unwrap()),
+        other => panic!("unknown golden graph {other}"),
+    }
+}
+
+fn golden_row(name: &str, seed: u64, exec: Exec) -> String {
+    let g = golden_graph(name);
+    Election::on(&g)
+        .config(ElectionConfig::tuned_for_simulation(g.n()))
+        .seed(seed)
+        .executor(exec)
+        .telemetry(TelemetryConfig::default())
+        .run()
+        .unwrap()
+        .csv_row()
+}
+
+#[test]
+fn golden_rows_are_unchanged_since_the_pre_rewrite_engine() {
+    for (name, seed, want) in GOLDEN_ROWS {
+        let got = golden_row(name, seed, Exec::Serial);
+        assert_eq!(got, want, "{name}/{seed}: serial engine drifted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every executor — over its whole configuration space of worker
+    /// counts — must reproduce the pinned pre-rewrite rows exactly.
+    #[test]
+    fn golden_rows_hold_on_every_executor(
+        case in 0usize..GOLDEN_ROWS.len(),
+        workers in 1usize..5,
+        use_async in any::<bool>(),
+    ) {
+        let (name, seed, want) = GOLDEN_ROWS[case];
+        let exec = if use_async {
+            Exec::Async(LatencyModel::zero())
+        } else {
+            Exec::Threaded(workers)
+        };
+        let got = golden_row(name, seed, exec);
+        prop_assert_eq!(got, want, "{}/{}: {:?} drifted", name, seed, exec);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "needs the release profile")]
+fn ring_10m_loads_in_compressed_csr() {
+    // Tentpole acceptance: an n = 10⁷ sparse graph loads on this host.
+    // The u32 CSR (4-byte offsets, four 4-byte struct-of-arrays columns
+    // per directed edge) keeps the resident graph near 360 MB where the
+    // old usize/array-of-structs layout needed about a gigabyte.
+    let n = 10_000_000;
+    let g = gen::ring(n).unwrap();
+    assert_eq!(g.n(), n);
+    assert_eq!(g.m(), n);
+    assert_eq!(g.directed_edge_count(), 2 * n);
+    // Port round-trips at both ends of the index range exercise the
+    // derived directed-source decoding over the full u32 span.
+    for u in [0usize, 1, n / 2, n - 1] {
+        let u = welle::graph::NodeId::new(u);
+        for p in g.ports(u) {
+            let v = g.neighbor(u, p);
+            let q = g.reverse_port(u, p);
+            assert_eq!(g.neighbor(v, q), u);
+            let dir = g.directed_index(u, p);
+            assert_eq!(g.directed_source(dir), (u, p));
+            assert_eq!(g.directed_target(dir), (v, q));
+        }
+    }
+}
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "needs the release profile (≈70 s optimized)")]
@@ -134,6 +257,45 @@ fn drop_rate_sweep_of_200_trials_is_bit_identical_at_any_thread_count() {
             pooled.engines_built
         );
     }
+}
+
+#[test]
+#[ignore = "≈15 min optimized on one core; run with --release -- --ignored"]
+fn expander_1m_elects_within_memory_budget() {
+    // The memory-wall acceptance run: a full election at n = 10⁶ on a
+    // 6-regular expander, single-threaded, must complete on this
+    // container — and stay under a stated peak for the engine's
+    // recycling message arena. The budget is ≈1.5× the observed peak of
+    // 28 353 208 slots ≈ 1.0 GiB at 36 B/slot (see
+    // `results/large_n_rounds.md` for the measured row).
+    const PEAK_ARENA_BUDGET: u64 = 42_000_000;
+    let n = 1_000_000;
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = Arc::new(gen::random_regular(n, 6, &mut rng).unwrap());
+    let cfg = ElectionConfig::tuned_for_simulation(n);
+    let report = Election::on(&g)
+        .config(cfg)
+        .seed(7)
+        .executor(Exec::Serial)
+        .run()
+        .unwrap();
+    eprintln!(
+        "n=10^6 expander: rounds={} messages={} peak_arena_slots={} walk_len={}",
+        report.engine_rounds, report.messages, report.peak_arena_slots, report.final_walk_len
+    );
+    assert!(
+        report.is_success(),
+        "leaders = {:?}, contenders = {}, gave_up = {}",
+        report.leaders,
+        report.contenders,
+        report.gave_up
+    );
+    assert_eq!(report.broken_routes, 0, "routing must never break");
+    assert!(
+        report.peak_arena_slots < PEAK_ARENA_BUDGET,
+        "{} arena slots blows the n=10^6 memory budget",
+        report.peak_arena_slots
+    );
 }
 
 #[test]
